@@ -1,0 +1,16 @@
+"""Shared fixtures for the paper-experiment benchmarks.
+
+The FPE model is expensive to pre-train relative to a quick bench run,
+and the paper itself reuses one pre-trained model across all target
+datasets, so a session-scoped fixture mirrors that design.
+"""
+
+import pytest
+
+from repro.core import pretrain_fpe
+
+
+@pytest.fixture(scope="session")
+def fpe_model():
+    """One FPE model shared by every benchmark (paper Section III-D)."""
+    return pretrain_fpe(n_train=6, n_validation=2, scale=0.25, seed=0)

@@ -1,0 +1,30 @@
+"""Figure 1 — sample percentage vs performance and computation time.
+
+Paper shape: past a moderate sample fraction, score saturates while
+evaluation time keeps climbing roughly linearly.  The bench asserts
+both halves: time grows monotonically-ish with the fraction, and the
+score at 60% of the data is already within a few points of the score
+at 100%.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure1_sample_size, format_figure1
+
+
+def test_figure1_sample_size(benchmark):
+    series = benchmark.pedantic(
+        figure1_sample_size, kwargs={"n_repeats": 2}, rounds=1, iterations=1
+    )
+    print("\n" + format_figure1(series))
+    assert len(series) == 4
+    for name, points in series.items():
+        fractions = [p["fraction"] for p in points]
+        times = [p["time_mean"] for p in points]
+        scores = [p["score_mean"] for p in points]
+        assert fractions == sorted(fractions)
+        # Time grows with sample size (full vs smallest fraction).
+        assert times[-1] > times[0]
+        # Score saturation: 60% of the data gets within 0.08 of full.
+        mid = scores[len(scores) // 2]
+        assert abs(scores[-1] - mid) < 0.08, name

@@ -1,0 +1,23 @@
+"""Figure 6 — the thre threshold against LOFO score gains.
+
+Paper shape: most features have score gains hovering near zero; only a
+minority clear the thre=0.01 line and get labelled effective.  The
+bench regenerates the gain distribution over a public-corpus slice and
+asserts that the threshold is discriminative (neither everything nor
+nothing passes).
+"""
+
+from repro.bench.experiments import figure6_threshold, format_figure6
+
+
+def test_figure6_threshold(benchmark):
+    data = benchmark.pedantic(
+        figure6_threshold, kwargs={"n_datasets": 4}, rounds=1, iterations=1
+    )
+    print("\n" + format_figure6(data))
+    assert data["n_features"] >= 10
+    # thre splits the population: some features pass, most do not all.
+    assert 0.0 < data["positive_rate"] < 1.0
+    # Gains are sorted descending for the figure's x-axis.
+    gains = data["gains"]
+    assert all(gains[i] >= gains[i + 1] for i in range(len(gains) - 1))

@@ -1,0 +1,24 @@
+"""Figure 8 — hyperparameter sensitivity of E-AFE.
+
+Paper shape: E-AFE is "not strictly sensitive" to thre, the MinHash
+signature dimension, or the maximum order — scores wobble inside a
+band rather than collapsing.  The bench sweeps each parameter and
+asserts the spread across the sweep stays within a tolerance band of
+the best value, mirroring the robustness claim.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure8_sensitivity, format_figure8
+
+
+def test_figure8_sensitivity(benchmark):
+    sweeps = benchmark.pedantic(figure8_sensitivity, rounds=1, iterations=1)
+    print("\n" + format_figure8(sweeps))
+    assert set(sweeps) == {"thre", "dimension", "max_order"}
+    for parameter, points in sweeps.items():
+        scores = np.array([p["score"] for p in points])
+        assert len(scores) == 3
+        assert np.isfinite(scores).all()
+        # Robustness band: no configuration collapses relative to best.
+        assert scores.max() - scores.min() < 0.15, parameter

@@ -1,0 +1,26 @@
+"""Figure 9 — improvement vs feature count and sample count.
+
+Paper shape: E-AFE's advantage holds as datasets grow; its evaluation-
+count ratio over NFS stays >= ~2x across sizes and its performance
+improvement does not degrade with scale.  The bench sweeps synthetic
+families over both axes and asserts the efficiency ratio stays above
+1.4x everywhere (the conservative direction of the >=2x claim at tiny
+bench budgets).
+"""
+
+from repro.bench.experiments import figure9_scalability, format_figure9
+
+
+def test_figure9_scalability(benchmark, fpe_model):
+    sweeps = benchmark.pedantic(
+        figure9_scalability, kwargs={"fpe": fpe_model}, rounds=1, iterations=1
+    )
+    print("\n" + format_figure9(sweeps))
+    assert set(sweeps) == {"features", "samples"}
+    for axis, points in sweeps.items():
+        sizes = [p["size"] for p in points]
+        assert sizes == sorted(sizes)
+        for point in points:
+            # Efficiency: E-AFE consistently evaluates far fewer
+            # candidates than NFS at every scale.
+            assert point["eval_ratio"] > 1.4, (axis, point)

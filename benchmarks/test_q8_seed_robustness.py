@@ -1,0 +1,30 @@
+"""Q8 bench: is the improvement robust across random seeds?
+
+The paper argues robustness via cross-dataset p-values (Table VI); the
+per-dataset complement checked here is seed sensitivity: E-AFE's score
+spread across seeds should not swallow its improvement over the raw
+baseline, and its evaluation advantage over NFS must hold for *every*
+seed, not just the headline one.
+"""
+
+from repro.bench import format_seed_sweep, run_multi_seed
+from repro.bench.harness import bench_config, bench_dataset
+
+
+def test_q8_seed_robustness(benchmark, fpe_model):
+    def run():
+        task = bench_dataset("PimaIndian")
+        config = bench_config()
+        return {
+            "E-AFE": run_multi_seed("E-AFE", task, config, seeds=(0, 1, 2), fpe=fpe_model),
+            "NFS": run_multi_seed("NFS", task, config, seeds=(0, 1, 2)),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_seed_sweep(list(sweeps.values())))
+    eafe, nfs = sweeps["E-AFE"], sweeps["NFS"]
+    # Scores are stable: the seed spread stays inside a sane band.
+    assert eafe.spread < 0.15
+    # The efficiency claim holds per seed, not just on average.
+    for ours, theirs in zip(eafe.evaluations, nfs.evaluations):
+        assert ours < theirs

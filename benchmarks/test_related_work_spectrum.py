@@ -1,0 +1,30 @@
+"""Extension bench: the related-work efficiency spectrum (paper §V-A).
+
+Not a paper table, but the paper's introduction claims a spectrum that
+this repository can now measure end to end: LFE never evaluates
+candidates online, ExploreKit generates everything but evaluates a
+budget, Transformation Graph evaluates one dataset-state per step, NFS
+evaluates every candidate, and E-AFE filters first.  The bench asserts
+the online-evaluation ordering that defines the spectrum.
+"""
+
+from repro.bench.experiments import format_related_work, related_work_spectrum
+
+
+def test_related_work_spectrum(benchmark, fpe_model):
+    table = benchmark.pedantic(
+        related_work_spectrum, kwargs={"fpe": fpe_model}, rounds=1, iterations=1
+    )
+    print("\n" + format_related_work(table))
+    for dataset, results in table.items():
+        evals = {m: r.n_downstream_evaluations for m, r in results.items()}
+        # LFE is the cheapest online method by construction.
+        assert evals["LFE"] <= 2, dataset
+        # ExploreKit generates far more than it evaluates.
+        explorekit = results["ExploreKit"]
+        assert explorekit.n_generated > explorekit.n_downstream_evaluations
+        # E-AFE evaluates fewer candidates than keep-all NFS.
+        assert evals["E-AFE"] < evals["NFS"], dataset
+        # Every method returns a valid score.
+        for method, result in results.items():
+            assert 0.0 <= result.best_score <= 1.0 or result.task == "R", method

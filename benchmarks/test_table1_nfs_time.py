@@ -1,0 +1,21 @@
+"""Table I — NFS one-epoch time decomposition.
+
+Paper values (four datasets): feature generation takes ~0.1% of an NFS
+epoch; evaluating the generated features takes ~90%.  The bench runs
+one NFS epoch per dataset on the quick profile and asserts the shape:
+evaluation dominates generation by well over an order of magnitude.
+"""
+
+from repro.bench.experiments import format_table1, table1_nfs_time
+
+
+def test_table1_nfs_time(benchmark):
+    rows = benchmark.pedantic(table1_nfs_time, rounds=1, iterations=1)
+    print("\n" + format_table1(rows))
+    assert len(rows) == 4
+    for row in rows:
+        # Evaluation must dominate generation (paper: ~90% vs ~0.1%).
+        assert row["evaluation_time_s"] > 10 * row["generation_time_s"]
+        # and be the bulk of the epoch's wall time.
+        assert row["eval_fraction"] > 0.5
+        assert row["new_features"] > 0

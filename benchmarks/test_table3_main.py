@@ -1,0 +1,47 @@
+"""Table III — main comparison over datasets x methods.
+
+Paper shape: E-AFE attains the best or near-best score on most
+datasets while running far fewer downstream evaluations; NFS is the
+strongest prior AFE; AutoFSR needs the most evaluations; RTDLN is
+erratic (near zero on small datasets).  The quick profile runs a
+6-dataset subset with all 11 method columns; REPRO_BENCH_PROFILE=paper
+runs the full grid at paper scale.
+
+At a few-epoch bench budget, brute-force methods (AutoFSR/NFS) can
+match learned ones on raw score, so the assertions encode the paper's
+actual claim: E-AFE reaches *comparable* accuracy (small tolerance on
+the mean) with a *fraction* of the evaluations, and beats the deep
+baseline outright.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import format_table3, table3_main
+
+
+def test_table3_main(benchmark, fpe_model):
+    table = benchmark.pedantic(
+        table3_main, kwargs={"fpe": fpe_model}, rounds=1, iterations=1
+    )
+    print("\n" + format_table3(table))
+    methods = list(next(iter(table.values())).keys())
+    assert len(methods) == 11
+    means = {
+        m: float(np.mean([table[d][m].best_score for d in table]))
+        for m in methods
+    }
+    evals = {
+        m: sum(table[d][m].n_downstream_evaluations for d in table)
+        for m in methods
+    }
+    # Efficiency at comparable accuracy — the paper's core trade-off.
+    assert means["E-AFE"] > means["AutoFSR"] - 0.06
+    assert evals["E-AFE"] < 0.7 * evals["AutoFSR"]
+    assert evals["E-AFE"] < 0.7 * evals["NFS"]
+    # Two-stage + per-step credit is not worse than the single-stage
+    # policy-gradient ablation.
+    assert means["E-AFE"] >= means["E-AFE_R"] - 0.03
+    # Learned AFE methods comfortably beat the deep baseline on these
+    # small tabular datasets (the paper's RTDLN observation).
+    assert means["E-AFE"] > means["RTDLN"]
+    assert means["NFS"] > means["RTDLN"]

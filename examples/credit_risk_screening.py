@@ -1,0 +1,70 @@
+"""Credit-risk screening: compare AFE methods on a lending dataset.
+
+Run:
+    python examples/credit_risk_screening.py
+
+Scenario from the paper's motivation: a bank scores loan applications
+(the German Credit / credit-a family of datasets) and wants better
+features without a feature-engineering team.  The example compares the
+efficiency-accuracy trade-off of three strategies on the same budget:
+
+* NFS        — evaluate every candidate feature (state of the art
+               before the paper);
+* E-AFE_D    — drop half the candidates at random;
+* E-AFE      — drop candidates the pre-trained FPE model predicts to
+               be useless (the paper's contribution).
+"""
+
+from repro import EngineConfig, pretrain_fpe
+from repro.bench import format_table, make_method
+from repro.datasets import load
+
+
+def main() -> None:
+    print("Pre-training the shared FPE model ...")
+    fpe = pretrain_fpe(n_train=6, n_validation=2, scale=0.25, seed=0)
+
+    task = load("German Credit", max_samples=300, max_features=8)
+    print(
+        f"Screening dataset: {task.name} "
+        f"({task.n_samples} applications, {task.n_features} attributes)\n"
+    )
+
+    config = EngineConfig(
+        n_epochs=5,
+        stage1_epochs=2,
+        transforms_per_agent=3,
+        n_splits=3,
+        n_estimators=5,
+        max_agents=6,
+        seed=0,
+    )
+
+    rows = []
+    for method in ("NFS", "E-AFE_D", "E-AFE"):
+        result = make_method(method, config, fpe=fpe).fit(task)
+        rows.append(
+            [
+                method,
+                result.base_score,
+                result.best_score,
+                result.improvement,
+                result.n_downstream_evaluations,
+                f"{result.evaluation_time:.1f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["Method", "Base F1", "Best F1", "Gain", "Evals", "EvalTime"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: E-AFE reaches comparable or better F1 while running "
+        "roughly half the downstream evaluations of NFS — the paper's "
+        "efficiency claim on a realistic screening workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Extending the action space with custom transformation operators.
+
+Run:
+    python examples/custom_operators.py
+
+A downstream user rarely stops at the paper's nine operators.  This
+example registers two domain-specific transformations (squaring and a
+smooth tanh squashing), rebuilds the environment around the extended
+registry, and verifies the agents can discover and use the new actions.
+"""
+
+import numpy as np
+
+from repro.core import DownstreamEvaluator
+from repro.datasets import make_regression
+from repro.operators import Operator, default_registry
+from repro.rl import FeatureSpace
+
+
+def main() -> None:
+    registry = default_registry()
+    registry.register(Operator("square", 1, lambda a: np.asarray(a) ** 2))
+    registry.register(
+        Operator("tanh", 1, lambda a: np.tanh(np.asarray(a, dtype=np.float64)))
+    )
+    print(f"Action space: {len(registry)} operators -> {registry.names}\n")
+
+    # A target that squares help with: y depends on f0^2.
+    task = make_regression(n_samples=250, n_features=5, seed=3)
+    space = FeatureSpace(task, registry=registry, max_order=3, seed=0)
+    evaluator = DownstreamEvaluator(task="R", n_splits=3, n_estimators=5)
+    base = evaluator.evaluate(task.X.to_array(), task.y)
+    print(f"base 1-RAE with raw features: {base:.4f}")
+
+    # Greedy random search over the extended space (a minimal engine).
+    rng = np.random.default_rng(0)
+    best, current = base, base
+    for _ in range(60):
+        agent = int(rng.integers(0, space.n_agents))
+        action = int(rng.integers(0, space.n_actions))
+        feature = space.generate(agent, action)
+        if feature is None:
+            continue
+        score = evaluator.evaluate(
+            np.column_stack([space.feature_matrix(), feature.values]), task.y
+        )
+        if score > current:
+            space.accept(agent, feature)
+            current = score
+            print(f"  accepted {feature.name:<28} -> {score:.4f}")
+        best = max(best, score)
+
+    print(f"\nbest 1-RAE reached: {best:.4f} ({best - base:+.4f} vs raw)")
+    custom_used = [
+        name
+        for name in space.feature_names()
+        if name.startswith(("square(", "tanh("))
+    ]
+    print(f"custom-operator features in final state: {custom_used or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Toward Efficient Automated Feature Engineering".
+
+E-AFE (Wang, Wang & Xu, ICDE 2023) accelerates reinforcement-learning
+automated feature engineering with a hashing-based Feature Pre-Evaluation
+model and a two-stage policy-training strategy.  This package contains a
+from-scratch implementation of the method, every substrate it depends on
+(tabular frame, ML models, weighted MinHash, operators, RL framework,
+dataset generators), the paper's baselines, and a benchmark harness that
+regenerates every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import EAFE, EngineConfig, pretrain_fpe
+>>> from repro.datasets import load
+>>> fpe = pretrain_fpe(n_train=6, n_validation=2, scale=0.3)
+>>> task = load("PimaIndian", max_samples=300)
+>>> result = EAFE(fpe, EngineConfig(n_epochs=5, n_splits=3)).fit(task)
+>>> result.best_score >= result.base_score
+True
+"""
+
+from .core import (
+    AFEEngine,
+    AFEResult,
+    EAFE,
+    EngineConfig,
+    FPEModel,
+    default_fpe,
+    make_variant,
+    pretrain_fpe,
+    tune_fpe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EAFE",
+    "AFEEngine",
+    "AFEResult",
+    "EngineConfig",
+    "FPEModel",
+    "pretrain_fpe",
+    "default_fpe",
+    "tune_fpe",
+    "make_variant",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Comparator methods: Table III baselines + related-work systems (§V-A)."""
+
+from .autofsr import AutoFSR
+from .explorekit import ExploreKit
+from .hybrid import DlThenFe, FeThenDl
+from .lfe import LFE
+from .nfs import NFS
+from .random_afe import RandomAFE
+from .rtdln import RTDLNBaseline
+from .transformation_graph import TransformationGraph
+
+__all__ = [
+    "NFS",
+    "AutoFSR",
+    "RTDLNBaseline",
+    "FeThenDl",
+    "DlThenFe",
+    "RandomAFE",
+    "TransformationGraph",
+    "LFE",
+    "ExploreKit",
+]

@@ -1,0 +1,34 @@
+"""Neural Feature Search (NFS) baseline (Chen et al., ICDM 2019).
+
+NFS is the strongest prior method the paper compares against: an
+RNN-controller AFE that transforms each raw feature through series of
+transformation functions, trained by policy gradient.  Crucially for
+the paper's argument, NFS evaluates *every* generated feature on the
+downstream task (no pre-selection) and assigns credit only from the
+final result of each epoch ("NFS omitted the cross-validation results
+in the training process", Section IV-D).
+
+Both properties are expressed as engine switches: keep-all filter,
+single stage, epoch-final rewards.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..core.engine import AFEEngine, EngineConfig
+from ..core.filters import KeepAllFilter
+
+__all__ = ["NFS"]
+
+
+class NFS(AFEEngine):
+    """RNN-controller AFE with full downstream evaluation."""
+
+    method_name = "NFS"
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        config = copy.deepcopy(config) if config is not None else EngineConfig()
+        config.two_stage = False
+        config.per_step_rewards = False
+        super().__init__(KeepAllFilter(), config)

@@ -1,0 +1,73 @@
+"""RTDLN baseline: tabular ResNet body with a Random Forest head.
+
+Derived from RTDL (Gorishniy et al., NeurIPS 2021) exactly as the paper
+describes (Section IV-A3): train the ResNet, swap its softmax head for
+a Random Forest fit on the penultimate representation, and evaluate.
+Unlike the AFE engines, RTDLN pre-splits data into train/validation/
+test partitions instead of cross-validating — the design choice the
+paper blames for its collapse on small datasets ("this partition is a
+fatal disadvantage", Section IV-E).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.engine import AFEResult, EngineConfig, EpochRecord
+from ..datasets.generators import TabularTask
+from ..ml.metrics import f1_score, one_minus_rae
+from ..ml.model_selection import train_test_split
+from ..ml.resnet import RTDLN as RTDLNModel
+
+__all__ = ["RTDLNBaseline"]
+
+
+class RTDLNBaseline:
+    """Deep-learning baseline over raw features (no feature generation)."""
+
+    method_name = "RTDLN"
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+
+    def fit(self, task: TabularTask) -> AFEResult:
+        started = time.perf_counter()
+        metric = f1_score if task.task == "C" else one_minus_rae
+        X = task.X.to_array()
+        # The paper's protocol: fixed train/test partition, not CV.
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, task.y, test_size=0.25, seed=self.config.seed,
+            stratify=task.task == "C",
+        )
+        model = RTDLNModel(
+            task=task.task,
+            width=32,
+            n_blocks=2,
+            n_epochs=max(10, self.config.n_epochs * 2),
+            forest_estimators=self.config.n_estimators,
+            seed=self.config.seed,
+        )
+        try:
+            model.fit(X_train, y_train)
+            score = float(metric(y_test, model.predict(X_test)))
+        except (ValueError, FloatingPointError):
+            # Tiny datasets can produce degenerate partitions — the
+            # failure mode behind the near-zero RTDLN rows in Table III.
+            score = 0.0
+        score = max(score, 0.0)
+        elapsed = time.perf_counter() - started
+        return AFEResult(
+            dataset=task.name,
+            method=self.method_name,
+            task=task.task,
+            base_score=score,
+            best_score=score,
+            selected_features=list(task.X.columns),
+            history=[
+                EpochRecord(
+                    epoch=0, elapsed=elapsed, n_evaluations=1, best_score=score
+                )
+            ],
+            n_downstream_evaluations=1,
+            wall_time=elapsed,
+        )

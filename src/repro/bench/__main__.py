@@ -1,0 +1,134 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table or figure from the shell:
+
+    python -m repro.bench table1
+    python -m repro.bench table4 --datasets PimaIndian diabetes
+    python -m repro.bench figure9
+    REPRO_BENCH_PROFILE=paper python -m repro.bench table3
+
+``list`` shows every available experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.pretrain import default_fpe
+from . import experiments
+from .harness import bench_profile
+
+#: experiment name -> (runner kwargs builder, formatter, needs_fpe)
+_EXPERIMENTS = {
+    "table1": (experiments.table1_nfs_time, experiments.format_table1, False),
+    "figure1": (experiments.figure1_sample_size, experiments.format_figure1, False),
+    "figure6": (experiments.figure6_threshold, experiments.format_figure6, False),
+    "table3": (experiments.table3_main, experiments.format_table3, True),
+    "table4": (experiments.table4_eval_counts, experiments.format_table4, True),
+    "figure7": (
+        experiments.figure7_learning_curves,
+        experiments.format_figure7,
+        True,
+    ),
+    "figure8": (
+        experiments.figure8_sensitivity,
+        experiments.format_figure8,
+        False,
+    ),
+    "table5": (
+        experiments.table5_downstream_swap,
+        experiments.format_table5,
+        True,
+    ),
+    "table6": (experiments.table6_pvalues, experiments.format_table6, True),
+    "figure9": (
+        experiments.figure9_scalability,
+        experiments.format_figure9,
+        True,
+    ),
+    "ablation_q6": (
+        experiments.ablation_q6_signatures,
+        experiments.format_ablation_q6,
+        False,
+    ),
+    "related_work": (
+        experiments.related_work_spectrum,
+        experiments.format_related_work,
+        True,
+    ),
+}
+
+
+def run_report(seed: int, out_path: str | None) -> int:
+    """Run every experiment and emit one consolidated report."""
+    fpe = default_fpe(seed=seed)
+    sections = []
+    for name in sorted(_EXPERIMENTS):
+        runner, formatter, needs_fpe = _EXPERIMENTS[name]
+        print(f"running {name} ...", file=sys.stderr)
+        kwargs: dict = {"seed": seed}
+        if needs_fpe:
+            kwargs["fpe"] = fpe
+        result = runner(**kwargs)
+        sections.append(f"## {name}\n\n```\n{formatter(result)}\n```\n")
+    report = (
+        "# E-AFE reproduction report\n\n"
+        f"profile: {bench_profile()}\n\n" + "\n".join(sections)
+    )
+    if out_path:
+        from pathlib import Path
+
+        Path(out_path).write_text(report, encoding="utf-8")
+        print(f"wrote {out_path}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a paper table or figure.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list", "report"],
+        help="experiment id (paper table/figure), 'list', or 'report'",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        help="override the dataset subset (where the experiment takes one)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="report output path (report mode only)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "report":
+        return run_report(args.seed, args.out)
+
+    runner, formatter, needs_fpe = _EXPERIMENTS[args.experiment]
+    print(f"profile: {bench_profile()}", file=sys.stderr)
+    kwargs: dict = {"seed": args.seed}
+    if args.datasets and args.experiment in (
+        "table1", "figure1", "table3", "table4", "table5",
+    ):
+        kwargs["datasets"] = args.datasets
+    if needs_fpe:
+        print("pre-training FPE model ...", file=sys.stderr)
+        kwargs["fpe"] = default_fpe(seed=args.seed)
+    result = runner(**kwargs)
+    print(formatter(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Learning-curve utilities for Figure 7.
+
+The paper samples each method's best-so-far score at training epochs
+{0, 10, 30, 60, 90, 120, 150, 200} and plots score against elapsed
+time.  These helpers extract that series from an :class:`AFEResult`
+history and compute the summary statistics the text quotes (time to
+reach a score, final-score speedup ratios).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import AFEResult
+
+__all__ = ["curve_points", "time_to_reach", "speedup_at_score"]
+
+#: Paper's sampled epochs, rescaled proportionally for shorter runs.
+PAPER_CHECKPOINTS = (0, 10, 30, 60, 90, 120, 150, 200)
+
+
+def curve_points(
+    result: AFEResult, n_points: int | None = None
+) -> list[tuple[float, float]]:
+    """(elapsed_seconds, best_score) series from a result history."""
+    if not result.history:
+        return [(result.wall_time, result.best_score)]
+    history = result.history
+    if n_points is not None and n_points < len(history):
+        indices = np.linspace(0, len(history) - 1, n_points).astype(int)
+        history = [history[i] for i in indices]
+    return [(record.elapsed, record.best_score) for record in history]
+
+
+def time_to_reach(result: AFEResult, score: float) -> float | None:
+    """Elapsed seconds until ``score`` was first met, or None if never."""
+    for record in result.history:
+        if record.best_score >= score:
+            return record.elapsed
+    return None
+
+
+def speedup_at_score(
+    ours: AFEResult, baseline: AFEResult, score: float | None = None
+) -> float | None:
+    """How many times faster ``ours`` reached a target score.
+
+    Defaults to the highest score both methods achieved (the paper's
+    "comparing time with the same score" statistic).  None when either
+    method never got there.
+    """
+    if score is None:
+        score = min(ours.best_score, baseline.best_score)
+    ours_time = time_to_reach(ours, score)
+    baseline_time = time_to_reach(baseline, score)
+    if ours_time is None or baseline_time is None or ours_time <= 0:
+        return None
+    return baseline_time / ours_time

@@ -1,0 +1,180 @@
+"""Experiment harness: method factories, runners, and text tables.
+
+Every benchmark regenerates a paper table/figure through this module so
+that method construction, configuration, and result bookkeeping are
+identical across experiments.  Two scale profiles exist:
+
+* ``quick`` (default) — a few epochs on down-scaled datasets; preserves
+  orderings and ratios, runs in minutes.  Used by ``benchmarks/``.
+* ``paper`` — the paper's hyperparameters (200 epochs, full sizes);
+  only for manual runs with hours of budget.
+
+Set ``REPRO_BENCH_PROFILE=paper`` to switch.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from collections.abc import Sequence
+
+from ..baselines import (
+    LFE,
+    NFS,
+    AutoFSR,
+    DlThenFe,
+    ExploreKit,
+    FeThenDl,
+    RandomAFE,
+    RTDLNBaseline,
+    TransformationGraph,
+)
+from ..core.engine import AFEResult, EngineConfig
+from ..core.fpe import FPEModel
+from ..core.variants import make_variant
+from ..datasets.generators import TabularTask
+from ..datasets.registry import load as load_dataset
+
+__all__ = [
+    "ALL_METHODS",
+    "bench_profile",
+    "bench_config",
+    "bench_dataset",
+    "make_method",
+    "run_methods",
+    "format_table",
+]
+
+#: Table III column order (paper aliases in parentheses).
+ALL_METHODS = (
+    "AutoFSR",  # FSR
+    "RTDLN",  # DLN
+    "NFS",
+    "FE|DL",
+    "DL|FE",
+    "E-AFE_R",
+    "E-AFE_D",
+    "E-AFE_L",
+    "E-AFE_P",
+    "E-AFE_I",
+    "E-AFE",
+)
+
+
+def bench_profile() -> str:
+    """Current scale profile: "quick" unless REPRO_BENCH_PROFILE=paper."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+    if profile not in ("quick", "paper"):
+        raise ValueError(f"unknown bench profile {profile!r}")
+    return profile
+
+
+def bench_config(seed: int = 0, **overrides) -> EngineConfig:
+    """Engine configuration for the active profile."""
+    if bench_profile() == "paper":
+        params = dict(
+            n_epochs=200,
+            stage1_epochs=20,
+            transforms_per_agent=5,
+            n_splits=5,
+            n_estimators=10,
+            max_agents=16,
+            seed=seed,
+        )
+    else:
+        params = dict(
+            n_epochs=3,
+            stage1_epochs=2,
+            transforms_per_agent=3,
+            n_splits=3,
+            n_estimators=5,
+            max_agents=6,
+            seed=seed,
+        )
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+def bench_dataset(name: str) -> TabularTask:
+    """Load a Table III dataset at the active profile's scale."""
+    if bench_profile() == "paper":
+        return load_dataset(name)
+    return load_dataset(name, max_samples=250, max_features=8)
+
+
+def make_method(name: str, config: EngineConfig, fpe: FPEModel | None = None):
+    """Instantiate any Table III method by its column name."""
+    config = copy.deepcopy(config)
+    if name == "AutoFSR":
+        return AutoFSR(config)
+    if name == "RTDLN":
+        return RTDLNBaseline(config)
+    if name == "NFS":
+        return NFS(config)
+    if name == "FE|DL":
+        return FeThenDl(config)
+    if name == "DL|FE":
+        return DlThenFe(config)
+    if name == "RandomAFE":
+        return RandomAFE(config)
+    if name == "TransGraph":
+        return TransformationGraph(config)
+    if name == "LFE":
+        # LFE requires offline predictors; pretrain on a small corpus
+        # slice so the harness stays one-call.
+        from ..datasets.public import public_corpus
+
+        engine = LFE(config)
+        engine.pretrain(list(public_corpus(limit=2, scale=0.25)))
+        return engine
+    if name == "ExploreKit":
+        return ExploreKit(config)
+    if name == "E-AFE_G":
+        from ..core.groupwise import GroupwiseEAFE
+        from ..core.pretrain import default_fpe
+
+        model = fpe or default_fpe(method="ccws", seed=config.seed)
+        return GroupwiseEAFE(model, config)
+    if name.startswith("E-AFE"):
+        return make_variant(name, config, fpe=fpe)
+    raise ValueError(f"unknown method {name!r}; expected one of {ALL_METHODS}")
+
+
+def run_methods(
+    task: TabularTask,
+    methods: Sequence[str],
+    config: EngineConfig,
+    fpe: FPEModel | None = None,
+) -> dict[str, AFEResult]:
+    """Run several methods on one dataset; results keyed by method name."""
+    results: dict[str, AFEResult] = {}
+    for name in methods:
+        engine = make_method(name, config, fpe=fpe)
+        results[name] = engine.fit(task)
+    return results
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table (the benches' printable output)."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[j]), *(len(row[j]) for row in rendered)) if rendered
+        else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[j]) for j, header in enumerate(headers)),
+        "  ".join("-" * widths[j] for j in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[j].ljust(widths[j]) for j in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Multi-seed robustness runs (paper Q8: "Is the improvement robust?").
+
+The paper answers Q8 with p-values across datasets (Table VI); the
+complementary per-dataset question — is a method's score stable across
+random seeds? — is what this module measures.  A method's reported
+number means little if re-seeding swings it more than the headline
+improvement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.engine import AFEResult, EngineConfig
+from ..core.fpe import FPEModel
+from ..datasets.generators import TabularTask
+from .harness import make_method
+
+__all__ = ["SeedSweep", "run_multi_seed", "format_seed_sweep"]
+
+
+@dataclass
+class SeedSweep:
+    """Aggregated scores of one method across seeds."""
+
+    method: str
+    dataset: str
+    seeds: list[int]
+    best_scores: list[float]
+    evaluations: list[int]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.best_scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.best_scores))
+
+    @property
+    def spread(self) -> float:
+        """max - min: the worst-case seed sensitivity."""
+        return float(np.max(self.best_scores) - np.min(self.best_scores))
+
+
+def run_multi_seed(
+    method: str,
+    task: TabularTask,
+    config: EngineConfig,
+    seeds: Sequence[int] = (0, 1, 2),
+    fpe: FPEModel | None = None,
+) -> SeedSweep:
+    """Run one method on one dataset once per seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    best_scores, evaluations = [], []
+    for seed in seeds:
+        seeded = replace(config, seed=seed)
+        result: AFEResult = make_method(method, seeded, fpe=fpe).fit(task)
+        best_scores.append(result.best_score)
+        evaluations.append(result.n_downstream_evaluations)
+    return SeedSweep(
+        method=method,
+        dataset=task.name,
+        seeds=list(seeds),
+        best_scores=best_scores,
+        evaluations=evaluations,
+    )
+
+
+def format_seed_sweep(sweeps: Sequence[SeedSweep]) -> str:
+    """Aligned text table of per-method seed statistics."""
+    from .harness import format_table
+
+    rows = [
+        [s.method, s.dataset, s.mean, s.std, s.spread, int(np.mean(s.evaluations))]
+        for s in sweeps
+    ]
+    return format_table(
+        ["Method", "Dataset", "Mean", "Std", "Spread", "MeanEvals"], rows
+    )

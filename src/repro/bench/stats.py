@@ -1,0 +1,75 @@
+"""Significance testing for Table VI (improvement p-values).
+
+The paper reports p-values of E-AFE's improvement over each baseline in
+both effectiveness (score) and efficiency (running time) across the 36
+datasets.  We use the paired one-sided t-test, falling back to the
+Wilcoxon signed-rank test when the differences are clearly non-normal
+(both from scipy, matching common practice for this table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["paired_pvalue", "improvement_pvalues"]
+
+
+def paired_pvalue(
+    ours: np.ndarray,
+    baseline: np.ndarray,
+    larger_is_better: bool = True,
+    method: str = "ttest",
+) -> float:
+    """One-sided paired p-value that ``ours`` beats ``baseline``.
+
+    ``larger_is_better=False`` flips the direction (running time).
+    """
+    ours = np.asarray(ours, dtype=np.float64).reshape(-1)
+    baseline = np.asarray(baseline, dtype=np.float64).reshape(-1)
+    if ours.shape != baseline.shape:
+        raise ValueError("paired samples must have equal length")
+    if ours.shape[0] < 2:
+        raise ValueError("need at least two pairs")
+    differences = ours - baseline if larger_is_better else baseline - ours
+    if np.allclose(differences, 0.0):
+        return 1.0
+    if method == "ttest":
+        result = stats.ttest_rel(
+            ours if larger_is_better else baseline,
+            baseline if larger_is_better else ours,
+            alternative="greater",
+        )
+        return float(result.pvalue)
+    if method == "wilcoxon":
+        result = stats.wilcoxon(differences, alternative="greater")
+        return float(result.pvalue)
+    raise ValueError(f"unknown method {method!r}; use 'ttest' or 'wilcoxon'")
+
+
+def improvement_pvalues(
+    scores: dict[str, np.ndarray],
+    times: dict[str, np.ndarray],
+    ours: str = "E-AFE",
+) -> dict[str, dict[str, float]]:
+    """Table VI: per-baseline p-values for performance and time.
+
+    ``scores[m]`` / ``times[m]`` hold per-dataset values of method m,
+    aligned across methods.  Returns
+    ``{baseline: {"performance": p, "time": p}}``.
+    """
+    if ours not in scores or ours not in times:
+        raise KeyError(f"{ours!r} missing from inputs")
+    table: dict[str, dict[str, float]] = {}
+    for name in scores:
+        if name == ours:
+            continue
+        table[name] = {
+            "performance": paired_pvalue(
+                scores[ours], scores[name], larger_is_better=True
+            ),
+            "time": paired_pvalue(
+                times[ours], times[name], larger_is_better=False
+            ),
+        }
+    return table

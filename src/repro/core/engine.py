@@ -1,0 +1,431 @@
+"""The E-AFE engine (Figure 5) and its configurable training loop.
+
+One engine implements the whole family of RL-based AFE methods the
+paper compares, differing only in three switches:
+
+=====================  ==========  ==========  ================
+method                 filter      two-stage   credit assignment
+=====================  ==========  ==========  ================
+E-AFE (+hash variants) FPE         yes         per-step gains
+E-AFE_D                random      yes         per-step gains
+E-AFE_R                FPE         no          epoch-final only
+NFS (baselines.nfs)    keep-all    no          epoch-final only
+=====================  ==========  ==========  ================
+
+The loop follows Algorithm 2.  Stage 1 trains agents against the cheap
+FPE pseudo-reward (Eqs. 7–9) and records promising actions in a replay
+buffer; stage 2 evaluates FPE-approved candidates on the real
+downstream task and trains with λ-weighted gains (Eq. 10).  Every
+downstream call is counted, which is what Table IV tabulates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.generators import TabularTask
+from ..ml.forest import RandomForestClassifier, RandomForestRegressor
+from ..rl.buffer import ReplayBuffer, Transition
+from ..rl.environment import FeatureSpace
+from ..rl.policy import MultiAgentController, TrajectoryStep
+from .evaluation import DownstreamEvaluator
+from .filters import CandidateFilter, FPEFilter, KeepAllFilter
+from .fpe import FPEModel
+from .rewards import FPERewardTracker
+
+__all__ = ["EngineConfig", "EpochRecord", "AFEResult", "AFEEngine", "EAFE"]
+
+
+@dataclass
+class EngineConfig:
+    """Hyperparameters of the training loop (paper defaults noted)."""
+
+    n_epochs: int = 10  # paper: 200; benches scale down
+    stage1_epochs: int = 3  # quick-initialization epochs
+    transforms_per_agent: int = 4  # T: actions per agent per epoch
+    max_order: int = 5  # paper default (Fig. 8(3) sweeps it)
+    thre: float = 0.01  # score-gain threshold (Fig. 8(1))
+    gamma: float = 0.9  # discount
+    lam: float = 0.5  # lambda of Eq. 10
+    lr: float = 0.01  # paper: Adam at 0.01
+    max_agents: int = 12  # RF-importance pre-filter cap (Section IV-B)
+    max_subgroup: int = 32
+    replay_capacity: int = 512
+    n_splits: int = 5  # downstream CV folds
+    n_estimators: int = 10  # downstream RF size
+    model_kind: str = "rf"
+    two_stage: bool = True
+    per_step_rewards: bool = True  # False = NFS-style epoch-final credit
+    patience: int | None = None  # early stop after N epochs w/o improvement
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be positive")
+        if self.transforms_per_agent < 1:
+            raise ValueError("transforms_per_agent must be positive")
+        if not 0.0 <= self.lam < 1.0:
+            raise ValueError("lam must be in [0, 1)")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be positive when set")
+
+
+@dataclass
+class EpochRecord:
+    """One learning-curve sample (Figure 7's x/y axes plus accounting)."""
+
+    epoch: int
+    elapsed: float
+    n_evaluations: int
+    best_score: float
+
+
+@dataclass
+class AFEResult:
+    """Outcome of one AFE run on one dataset."""
+
+    dataset: str
+    method: str
+    task: str
+    base_score: float
+    best_score: float
+    selected_features: list[str]
+    history: list[EpochRecord] = field(default_factory=list)
+    n_downstream_evaluations: int = 0
+    n_generated: int = 0
+    n_filtered_out: int = 0
+    wall_time: float = 0.0
+    generation_time: float = 0.0  # time inside feature generation (Table I)
+    evaluation_time: float = 0.0  # time inside downstream CV (Table I)
+    selected_matrix: np.ndarray | None = None  # cached features (Table V)
+
+    @property
+    def improvement(self) -> float:
+        """Absolute score gain over the raw feature set."""
+        return self.best_score - self.base_score
+
+    def to_dict(self, include_matrix: bool = False) -> dict:
+        """JSON-serializable summary of the run.
+
+        The cached feature matrix is omitted unless requested (it can
+        be large; persist it via :class:`~repro.frame.Frame` CSV or
+        recompute with a FeatureTransformer).
+        """
+        payload = {
+            "dataset": self.dataset,
+            "method": self.method,
+            "task": self.task,
+            "base_score": self.base_score,
+            "best_score": self.best_score,
+            "improvement": self.improvement,
+            "selected_features": list(self.selected_features),
+            "n_downstream_evaluations": self.n_downstream_evaluations,
+            "n_generated": self.n_generated,
+            "n_filtered_out": self.n_filtered_out,
+            "wall_time": self.wall_time,
+            "generation_time": self.generation_time,
+            "evaluation_time": self.evaluation_time,
+            "history": [
+                {
+                    "epoch": record.epoch,
+                    "elapsed": record.elapsed,
+                    "n_evaluations": record.n_evaluations,
+                    "best_score": record.best_score,
+                }
+                for record in self.history
+            ],
+        }
+        if include_matrix and self.selected_matrix is not None:
+            payload["selected_matrix"] = self.selected_matrix.tolist()
+        return payload
+
+
+class AFEEngine:
+    """RL-based AFE training loop with pluggable filtering strategy."""
+
+    method_name = "afe"
+
+    def __init__(
+        self,
+        candidate_filter: CandidateFilter | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.filter = candidate_filter or KeepAllFilter()
+        self.config = config or EngineConfig()
+
+    # -- helpers ------------------------------------------------------------
+    def _select_agent_features(self, task: TabularTask) -> TabularTask:
+        """RF-importance pre-filter (Section IV-B).
+
+        Datasets with more raw features than ``max_agents`` keep only
+        the top-importance columns; each surviving column gets an agent.
+        """
+        if task.n_features <= self.config.max_agents:
+            return task
+        X = task.X.to_array()
+        if task.task == "C":
+            forest = RandomForestClassifier(
+                n_estimators=5, seed=self.config.seed
+            ).fit(X, task.y)
+        else:
+            forest = RandomForestRegressor(
+                n_estimators=5, seed=self.config.seed
+            ).fit(X, task.y)
+        order = np.argsort(forest.feature_importances_)[::-1]
+        keep = sorted(order[: self.config.max_agents].tolist())
+        names = [task.X.columns[j] for j in keep]
+        return TabularTask(
+            name=task.name, task=task.task, X=task.X.select(names), y=task.y
+        )
+
+    def _make_evaluator(self, task: TabularTask) -> DownstreamEvaluator:
+        return DownstreamEvaluator(
+            task=task.task,
+            model_kind=self.config.model_kind,
+            n_splits=self.config.n_splits,
+            n_estimators=self.config.n_estimators,
+            seed=self.config.seed,
+        )
+
+    def _make_space(self, working: TabularTask) -> FeatureSpace:
+        """Environment factory; variants override to regroup features."""
+        return FeatureSpace(
+            working,
+            max_order=self.config.max_order,
+            max_subgroup=self.config.max_subgroup,
+            seed=self.config.seed,
+        )
+
+    # -- stage 1 ------------------------------------------------------------
+    def _stage1(
+        self,
+        space: FeatureSpace,
+        controller: MultiAgentController,
+        buffer: ReplayBuffer,
+        base_score: float,
+    ) -> None:
+        """Quick initialization with FPE pseudo-rewards (Alg. 2 lines 1-14).
+
+        No downstream evaluations happen here — that is the entire point
+        of the stage.  Features the filter likes are accepted into the
+        state *and* recorded in the replay buffer.
+        """
+        tracker = FPERewardTracker(
+            n_agents=space.n_agents,
+            base_score=base_score,
+            thre=self.config.thre,
+        )
+        for _ in range(self.config.stage1_epochs):
+            controller.reset_episode()
+            tracker.reset()
+            steps: list[TrajectoryStep] = []
+            for agent_index in range(space.n_agents):
+                for _ in range(self.config.transforms_per_agent):
+                    state = space.state_vector(agent_index)
+                    action = controller.act(agent_index, state)
+                    feature = space.generate(agent_index, action)
+                    if feature is None:
+                        steps.append(
+                            TrajectoryStep(agent_index, state, action, -self.config.thre)
+                        )
+                        continue
+                    probability = self.filter.proba(feature.values)
+                    reward = tracker.reward(agent_index, probability)
+                    space.record_reward(agent_index, reward)
+                    steps.append(TrajectoryStep(agent_index, state, action, reward))
+                    if probability >= 0.5:
+                        # Positive features go to the replay buffer only
+                        # (Alg. 2 line 7); the state stays at the original
+                        # features so stage-2 score gains stay consistent.
+                        buffer.push(
+                            Transition(agent_index, action, feature, reward)
+                        )
+            if steps:
+                controller.update_from_trajectories(steps)
+        # Transplant buffer knowledge into the stage-2 starting policy.
+        for agent_index, count in buffer.per_agent_counts().items():
+            best_actions: dict[int, float] = {}
+            for transition in buffer:
+                if transition.agent_index != agent_index:
+                    continue
+                best_actions[transition.action_index] = max(
+                    best_actions.get(transition.action_index, -np.inf),
+                    transition.reward,
+                )
+            if best_actions:
+                action = max(best_actions, key=best_actions.get)
+                controller.bias_agent(agent_index, action, strength=0.5)
+
+    # -- stage 2 --------------------------------------------------------------
+    def _stage2(
+        self,
+        space: FeatureSpace,
+        controller: MultiAgentController,
+        evaluator: DownstreamEvaluator,
+        task: TabularTask,
+        base_score: float,
+        started: float,
+        result: AFEResult,
+        buffer: ReplayBuffer | None = None,
+    ) -> None:
+        """Formal training against the downstream task (Alg. 2 lines 15-22)."""
+        current_score = base_score
+        best_score = base_score
+        best_features = list(space.feature_names())
+        # Seed from the replay buffer: stage-1's promising features are
+        # verified on the real downstream task first (Alg. 2 line 16:
+        # "Get feature from replay buffer").  Verified winners enter the
+        # state before the formal epochs begin.
+        best_matrix: np.ndarray | None = None
+        if buffer is not None and not buffer.is_empty:
+            for transition in buffer.best(space.n_agents):
+                names = space.feature_names() + [transition.feature.name]
+                candidate = np.column_stack(
+                    [space.feature_matrix(), transition.feature.values]
+                )
+                score = evaluator.evaluate(candidate, task.y)
+                result.n_generated += 1
+                if score > current_score:
+                    space.accept(transition.agent_index, transition.feature)
+                    current_score = score
+                if score > best_score:
+                    best_score = score
+                    best_features = names
+                    best_matrix = candidate
+        epochs_without_improvement = 0
+        for epoch in range(self.config.n_epochs):
+            best_before_epoch = best_score
+            controller.reset_episode()
+            steps: list[TrajectoryStep] = []
+            for agent_index in range(space.n_agents):
+                for _ in range(self.config.transforms_per_agent):
+                    state = space.state_vector(agent_index)
+                    action = controller.act(agent_index, state)
+                    generation_started = time.perf_counter()
+                    feature = space.generate(agent_index, action)
+                    result.generation_time += time.perf_counter() - generation_started
+                    if feature is None:
+                        steps.append(
+                            TrajectoryStep(agent_index, state, action, -self.config.thre)
+                        )
+                        continue
+                    result.n_generated += 1
+                    if not self.filter.keep(feature.values):
+                        result.n_filtered_out += 1
+                        steps.append(
+                            TrajectoryStep(agent_index, state, action, -self.config.thre)
+                        )
+                        continue
+                    names = space.feature_names() + [feature.name]
+                    candidate = np.column_stack(
+                        [space.feature_matrix(), feature.values]
+                    )
+                    score = evaluator.evaluate(candidate, task.y)
+                    gain = score - current_score
+                    space.record_reward(agent_index, gain)
+                    steps.append(TrajectoryStep(agent_index, state, action, gain))
+                    if gain > 0.0:
+                        space.accept(agent_index, feature)
+                        current_score = score
+                    if score > best_score:
+                        best_score = score
+                        best_features = names
+                        best_matrix = candidate
+            if steps:
+                if not self.config.per_step_rewards:
+                    # NFS-style credit: every step in the epoch receives
+                    # the epoch's final aggregate gain.
+                    final_gain = current_score - base_score
+                    steps = [
+                        TrajectoryStep(s.agent_index, s.state, s.action, final_gain)
+                        for s in steps
+                    ]
+                controller.update_from_trajectories(steps)
+            result.history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    elapsed=time.perf_counter() - started,
+                    n_evaluations=evaluator.n_evaluations,
+                    best_score=best_score,
+                )
+            )
+            if self.config.patience is not None:
+                if best_score > best_before_epoch:
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.config.patience:
+                        break
+        result.best_score = best_score
+        result.selected_features = best_features
+        # Cache the exact matrix that achieved best_score (column order
+        # matters: the seeded per-node feature sampling of the forest
+        # makes CV scores sensitive to column permutation).
+        if best_matrix is not None:
+            result.selected_matrix = best_matrix
+        else:
+            result.selected_matrix = space.task.X.to_array()
+
+    # -- public API -----------------------------------------------------------
+    def fit(self, task: TabularTask) -> AFEResult:
+        """Run AFE on one dataset and return the full accounting."""
+        started = time.perf_counter()
+        working = self._select_agent_features(task)
+        evaluator = self._make_evaluator(working)
+        space = self._make_space(working)
+        controller = MultiAgentController(
+            n_agents=space.n_agents,
+            n_actions=space.n_actions,
+            state_dim=space.state_dim,
+            lr=self.config.lr,
+            gamma=self.config.gamma,
+            lam=self.config.lam,
+            seed=self.config.seed,
+        )
+        base_score = evaluator.evaluate(working.X.to_array(), working.y)
+        result = AFEResult(
+            dataset=task.name,
+            method=self.method_name,
+            task=task.task,
+            base_score=base_score,
+            best_score=base_score,
+            selected_features=list(working.X.columns),
+        )
+        buffer = ReplayBuffer(capacity=self.config.replay_capacity)
+        if self.config.two_stage:
+            self._stage1(space, controller, buffer, base_score)
+        self._stage2(
+            space, controller, evaluator, working, base_score, started, result,
+            buffer=buffer if self.config.two_stage else None,
+        )
+        result.n_downstream_evaluations = evaluator.n_evaluations
+        result.evaluation_time = evaluator.total_eval_time
+        result.wall_time = time.perf_counter() - started
+        return result
+
+
+class EAFE(AFEEngine):
+    """The paper's method: FPE filtering + two-stage training.
+
+    Parameters
+    ----------
+    fpe:
+        A pre-trained :class:`FPEModel`.  Training one is the job of
+        :func:`repro.core.fpe.tune_fpe` or
+        :func:`repro.core.pretrain.pretrain_fpe`.
+    config:
+        Loop hyperparameters; ``two_stage`` and ``per_step_rewards``
+        are forced on (they define the method).
+    """
+
+    method_name = "E-AFE"
+
+    def __init__(self, fpe: FPEModel, config: EngineConfig | None = None) -> None:
+        config = config or EngineConfig()
+        config.two_stage = True
+        config.per_step_rewards = True
+        super().__init__(FPEFilter(fpe), config)
+        self.fpe = fpe

@@ -1,0 +1,109 @@
+"""FPE model persistence: save once, deploy everywhere.
+
+The paper's deployment argument (Section III-D) is that FPE is trained
+once on public data and *reused* across target datasets — which only
+works in practice if the model survives the process that trained it.
+This module serializes a fitted :class:`FPEModel` (compressor
+configuration + logistic-regression classifier weights) to a portable
+JSON document.
+
+Only the default LogisticRegression classifier is serializable; models
+fitted with custom classifiers raise a clear error rather than writing
+something unloadable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..ml.linear import LogisticRegression
+from .fpe import FPEModel
+
+__all__ = ["save_fpe", "load_fpe", "fpe_to_dict", "fpe_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def fpe_to_dict(model: FPEModel) -> dict:
+    """Serializable representation of a fitted FPE model."""
+    if not model.is_fitted:
+        raise ValueError("cannot serialize an unfitted FPE model")
+    payload: dict = {
+        "format_version": _FORMAT_VERSION,
+        "method": model.method,
+        "d": model.d,
+        "seed": model.seed,
+        "thre": model.thre,
+    }
+    if model._single_class is not None:
+        payload["single_class"] = model._single_class
+        return payload
+    classifier = model._fitted
+    if not isinstance(classifier, LogisticRegression):
+        raise TypeError(
+            "only LogisticRegression-backed FPE models are serializable; "
+            f"got {type(classifier).__name__}"
+        )
+    payload["classifier"] = {
+        "lr": classifier.lr,
+        "n_iter": classifier.n_iter,
+        "l2": classifier.l2,
+        "standardize": classifier.standardize,
+        "classes": classifier.classes_.tolist(),
+        "weights": classifier._weights.tolist(),
+        "scaler_mean": (
+            classifier._scaler.mean_.tolist() if classifier._scaler else None
+        ),
+        "scaler_scale": (
+            classifier._scaler.scale_.tolist() if classifier._scaler else None
+        ),
+    }
+    return payload
+
+
+def fpe_from_dict(payload: dict) -> FPEModel:
+    """Rebuild a fitted FPE model from :func:`fpe_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported FPE format version {version!r}")
+    model = FPEModel(
+        method=payload["method"],
+        d=int(payload["d"]),
+        seed=int(payload["seed"]),
+        thre=float(payload["thre"]),
+    )
+    if "single_class" in payload:
+        model._single_class = int(payload["single_class"])
+        return model
+    spec = payload["classifier"]
+    classifier = LogisticRegression(
+        lr=spec["lr"],
+        n_iter=int(spec["n_iter"]),
+        l2=spec["l2"],
+        standardize=bool(spec["standardize"]),
+    )
+    classifier.classes_ = np.asarray(spec["classes"], dtype=np.float64)
+    classifier._weights = np.asarray(spec["weights"], dtype=np.float64)
+    if spec["scaler_mean"] is not None:
+        from ..ml.preprocessing import StandardScaler
+
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(spec["scaler_mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(spec["scaler_scale"], dtype=np.float64)
+        classifier._scaler = scaler
+    model._fitted = classifier
+    model._single_class = None
+    return model
+
+
+def save_fpe(model: FPEModel, path: str | Path) -> None:
+    """Write a fitted FPE model to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(fpe_to_dict(model)), encoding="utf-8")
+
+
+def load_fpe(path: str | Path) -> FPEModel:
+    """Load a fitted FPE model saved by :func:`save_fpe`."""
+    return fpe_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,97 @@
+"""FPE-based reward shaping for stage-1 training (Equations 7–8).
+
+Stage 1 never touches the downstream task.  Instead, the FPE
+probability ``p = C_D(MinHash(f, d))`` is mapped to a *pseudo score*
+``A^h`` around the original dataset score ``A_O``:
+
+    p in [0, 0.5)  (predicted ineffective):
+        A^h = A_O + ((0.5 - p) / 0.5) * (dAmax - thre)
+    p in [0.5, 1]  (predicted effective):
+        A^h = A_O + ((0.5 - p) / 0.5) * (thre - dAmin)
+
+Reading Eq. 8 as a continuous, monotone-increasing map in ``p``:
+at ``p = 0.5`` both branches meet at ``A_O``; confident-negative
+features push the pseudo score down by up to ``dAmax - thre`` and
+confident-positive features raise it by up to ``dAmin``-scaled gain.
+The per-step reward is then the pseudo-score gain
+``r^h_t = A^h_t - A^h_{t-1}`` (Eq. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fpe_pseudo_score", "FPERewardTracker"]
+
+
+def fpe_pseudo_score(
+    p: float,
+    base_score: float,
+    thre: float = 0.01,
+    delta_max: float = 0.05,
+    delta_min: float = -0.05,
+) -> float:
+    """Eq. 8: map an FPE probability to a pseudo evaluation score.
+
+    Parameters
+    ----------
+    p:
+        FPE output probability in [0, 1].
+    base_score:
+        A_O, the downstream score of the original feature set.
+    thre:
+        The labelling threshold (ties the two branches together).
+    delta_max / delta_min:
+        Largest / smallest plausible score gain of a single feature on
+        this dataset (the paper's dAmax / dAmin of the input space).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if delta_max < thre:
+        raise ValueError("delta_max must be at least thre")
+    if delta_min > 0.0:
+        raise ValueError("delta_min must be non-positive")
+    centred = (0.5 - p) / 0.5  # +1 at p=0, 0 at p=0.5, -1 at p=1
+    if p < 0.5:
+        # Predicted-ineffective branch: pseudo score sinks below A_O.
+        return base_score - centred * (delta_max - thre)
+    # Predicted-effective branch: pseudo score rises above A_O.
+    return base_score - centred * (thre - delta_min)
+
+
+class FPERewardTracker:
+    """Accumulates Eq. 9 rewards ``r^h_t = A^h_t - A^h_{t-1}`` per agent."""
+
+    def __init__(
+        self,
+        n_agents: int,
+        base_score: float,
+        thre: float = 0.01,
+        delta_max: float = 0.05,
+        delta_min: float = -0.05,
+    ) -> None:
+        if n_agents < 1:
+            raise ValueError("need at least one agent")
+        self.base_score = base_score
+        self.thre = thre
+        self.delta_max = delta_max
+        self.delta_min = delta_min
+        self._previous = np.full(n_agents, base_score)
+
+    def reward(self, agent_index: int, p: float) -> float:
+        """Reward for one agent's newly generated feature."""
+        if not 0 <= agent_index < len(self._previous):
+            raise IndexError("agent index out of range")
+        score = fpe_pseudo_score(
+            p,
+            self.base_score,
+            thre=self.thre,
+            delta_max=self.delta_max,
+            delta_min=self.delta_min,
+        )
+        gain = score - self._previous[agent_index]
+        self._previous[agent_index] = score
+        return float(gain)
+
+    def reset(self) -> None:
+        self._previous[:] = self.base_score

@@ -1,0 +1,105 @@
+"""FeatureTransformer: apply an engineered feature set to new data.
+
+The missing half of every AFE paper's story: after the search picks
+``div(add(f1,f2),log(f3))``, production inference must compute the same
+expression on unseen rows.  :class:`FeatureTransformer` compiles the
+selected feature names of an :class:`~repro.core.engine.AFEResult` into
+expression trees once, then evaluates them against any Frame that has
+the original columns.
+
+Also serializable (a list of canonical names is the whole state), so a
+feature set can be versioned alongside the downstream model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..frame.frame import Frame
+from ..operators.expression import Expression, parse_expression
+from ..operators.registry import OperatorRegistry, default_registry
+from .engine import AFEResult
+
+__all__ = ["FeatureTransformer"]
+
+
+class FeatureTransformer:
+    """Compiled engineered-feature pipeline.
+
+    Parameters
+    ----------
+    feature_names:
+        Canonical expression names, typically
+        ``AFEResult.selected_features``.
+    registry:
+        Operator registry used during the search; must cover every
+        operator appearing in the names.
+    """
+
+    def __init__(
+        self,
+        feature_names: list[str],
+        registry: OperatorRegistry | None = None,
+    ) -> None:
+        if not feature_names:
+            raise ValueError("feature_names must not be empty")
+        self.registry = registry or default_registry()
+        self.feature_names = list(feature_names)
+        self._expressions: list[Expression] = [
+            parse_expression(name, self.registry) for name in self.feature_names
+        ]
+
+    @classmethod
+    def from_result(
+        cls, result: AFEResult, registry: OperatorRegistry | None = None
+    ) -> "FeatureTransformer":
+        """Compile the selected features of a finished AFE run."""
+        return cls(result.selected_features, registry=registry)
+
+    @property
+    def required_columns(self) -> set[str]:
+        """Raw columns the transformer needs in its input frames."""
+        out: set[str] = set()
+        for expression in self._expressions:
+            out |= expression.columns()
+        return out
+
+    @property
+    def max_order(self) -> int:
+        return max(expression.depth() for expression in self._expressions)
+
+    def transform(self, frame: Frame) -> Frame:
+        """Materialize every engineered feature against ``frame``."""
+        missing = self.required_columns - set(frame.columns)
+        if missing:
+            raise KeyError(f"input frame is missing columns {sorted(missing)!r}")
+        out = Frame()
+        for name, expression in zip(self.feature_names, self._expressions):
+            out[name] = expression.evaluate(frame)
+        return out
+
+    def transform_array(self, frame: Frame) -> np.ndarray:
+        """Like :meth:`transform`, returning a dense matrix."""
+        return self.transform(frame).to_array()
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the pipeline (just the canonical names) as JSON."""
+        payload = {"feature_names": self.feature_names}
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(
+        cls, path: str | Path, registry: OperatorRegistry | None = None
+    ) -> "FeatureTransformer":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(payload["feature_names"], registry=registry)
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureTransformer(n_features={len(self.feature_names)}, "
+            f"max_order={self.max_order})"
+        )

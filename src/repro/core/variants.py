@@ -1,0 +1,81 @@
+"""E-AFE variants and ablations of Table III.
+
+* ``E-AFE``   — CCWS hashing (the paper's default configuration)
+* ``E-AFE_I`` — ICWS hashing
+* ``E-AFE_P`` — PCWS hashing
+* ``E-AFE_L`` — LICWS (0-bit) hashing
+* ``E-AFE_D`` — FPE replaced by random dropout (ablation of the filter)
+* ``E-AFE_R`` — two-stage RL replaced by NFS-style policy gradient
+                (ablation of the RL framework)
+"""
+
+from __future__ import annotations
+
+import copy
+
+from .engine import AFEEngine, EAFE, EngineConfig
+from .filters import FPEFilter, RandomFilter
+from .fpe import FPEModel
+from .pretrain import default_fpe
+
+__all__ = ["VARIANT_NAMES", "make_variant"]
+
+VARIANT_NAMES = ("E-AFE", "E-AFE_I", "E-AFE_P", "E-AFE_L", "E-AFE_D", "E-AFE_R")
+
+_HASH_OF_VARIANT = {
+    "E-AFE": "ccws",
+    "E-AFE_I": "icws",
+    "E-AFE_P": "pcws",
+    "E-AFE_L": "licws",
+}
+
+
+class _RandomDropoutEngine(AFEEngine):
+    """E-AFE_D: keeps the two-stage loop, replaces FPE with coin flips."""
+
+    method_name = "E-AFE_D"
+
+    def __init__(self, config: EngineConfig) -> None:
+        config = copy.deepcopy(config)
+        config.two_stage = True
+        config.per_step_rewards = True
+        super().__init__(RandomFilter(keep_rate=0.5, seed=config.seed), config)
+
+
+class _PolicyGradientEAFE(AFEEngine):
+    """E-AFE_R: keeps the FPE filter, drops two-stage + per-step credit."""
+
+    method_name = "E-AFE_R"
+
+    def __init__(self, fpe: FPEModel, config: EngineConfig) -> None:
+        config = copy.deepcopy(config)
+        config.two_stage = False
+        config.per_step_rewards = False
+        super().__init__(FPEFilter(fpe), config)
+
+
+def make_variant(
+    name: str,
+    config: EngineConfig | None = None,
+    fpe: FPEModel | None = None,
+) -> AFEEngine:
+    """Build a Table III variant by name.
+
+    ``fpe`` may be shared across variants; when omitted, the cached
+    default model (re-hashed per variant's method) is used.
+    """
+    config = copy.deepcopy(config) if config is not None else EngineConfig()
+    if name == "E-AFE_D":
+        return _RandomDropoutEngine(config)
+    if name == "E-AFE_R":
+        model = fpe or default_fpe(method="ccws", seed=config.seed)
+        return _PolicyGradientEAFE(model, config)
+    if name in _HASH_OF_VARIANT:
+        method = _HASH_OF_VARIANT[name]
+        model = fpe
+        if model is None or model.method != method:
+            model = default_fpe(method=method, seed=config.seed)
+        engine = EAFE(model, config)
+        engine.method_name = name
+        return engine
+    raise ValueError(f"unknown variant {name!r}; expected one of {VARIANT_NAMES}")

@@ -1,0 +1,25 @@
+"""Dataset substrate: synthetic stand-ins for the paper's OpenML data."""
+
+from .generators import TabularTask, make_classification, make_regression
+from .public import (
+    N_PUBLIC_CLASSIFICATION,
+    N_PUBLIC_REGRESSION,
+    load_public,
+    public_corpus,
+)
+from .registry import TARGET_DATASETS, DatasetSpec, dataset_names, load, spec
+
+__all__ = [
+    "TabularTask",
+    "make_classification",
+    "make_regression",
+    "DatasetSpec",
+    "TARGET_DATASETS",
+    "dataset_names",
+    "spec",
+    "load",
+    "N_PUBLIC_CLASSIFICATION",
+    "N_PUBLIC_REGRESSION",
+    "load_public",
+    "public_corpus",
+]

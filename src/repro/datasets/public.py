@@ -1,0 +1,78 @@
+"""The public pre-training corpus (239 datasets, Section IV-A1).
+
+The paper pre-trains the FPE model on 141 classification and 98
+regression datasets collected from OpenML.  Offline, we emulate the
+corpus with the same cardinality: each corpus entry is a seeded
+synthetic task with sizes drawn from a realistic range (most OpenML
+tabular datasets are a few hundred to a few thousand rows and fewer
+than 60 columns).
+
+``public_corpus`` yields them lazily so callers can consume a slice
+without paying for the full 239 generations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .generators import TabularTask, make_classification, make_regression
+
+__all__ = [
+    "N_PUBLIC_CLASSIFICATION",
+    "N_PUBLIC_REGRESSION",
+    "public_corpus",
+    "load_public",
+]
+
+N_PUBLIC_CLASSIFICATION = 141
+N_PUBLIC_REGRESSION = 98
+_TOTAL = N_PUBLIC_CLASSIFICATION + N_PUBLIC_REGRESSION
+
+
+def _corpus_params(index: int) -> tuple[str, int, int, int]:
+    """Deterministic (task, n_samples, n_features, seed) for one entry."""
+    if not 0 <= index < _TOTAL:
+        raise IndexError(f"corpus index {index} out of range [0, {_TOTAL})")
+    rng = np.random.default_rng(9_000_000 + index)
+    task = "C" if index < N_PUBLIC_CLASSIFICATION else "R"
+    n_samples = int(rng.integers(80, 1200))
+    n_features = int(rng.integers(4, 40))
+    return task, n_samples, n_features, 9_000_000 + index
+
+
+def load_public(index: int, scale: float = 1.0) -> TabularTask:
+    """Generate corpus entry ``index`` (0-based over all 239)."""
+    task, n_samples, n_features, seed = _corpus_params(index)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    n_samples = max(40, int(n_samples * scale))
+    n_features = max(3, int(n_features * scale))
+    name = f"public-{task.lower()}{index}"
+    if task == "C":
+        return make_classification(
+            name=name, n_samples=n_samples, n_features=n_features, seed=seed
+        )
+    return make_regression(
+        name=name, n_samples=n_samples, n_features=n_features, seed=seed
+    )
+
+
+def public_corpus(
+    task: str | None = None,
+    limit: int | None = None,
+    scale: float = 1.0,
+) -> Iterator[TabularTask]:
+    """Lazily yield corpus datasets, optionally filtered and truncated."""
+    if task not in (None, "C", "R"):
+        raise ValueError("task must be 'C', 'R' or None")
+    produced = 0
+    for index in range(_TOTAL):
+        entry_task = "C" if index < N_PUBLIC_CLASSIFICATION else "R"
+        if task is not None and entry_task != task:
+            continue
+        if limit is not None and produced >= limit:
+            return
+        yield load_public(index, scale=scale)
+        produced += 1

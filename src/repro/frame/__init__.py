@@ -1,0 +1,17 @@
+"""Tabular data substrate (a minimal pandas stand-in)."""
+
+from .frame import Frame
+from .io import (
+    frame_from_csv_string,
+    frame_to_csv_string,
+    read_csv,
+    write_csv,
+)
+
+__all__ = [
+    "Frame",
+    "read_csv",
+    "write_csv",
+    "frame_to_csv_string",
+    "frame_from_csv_string",
+]

@@ -1,0 +1,307 @@
+"""A minimal column-labelled tabular data structure.
+
+The paper's pipeline manipulates tabular datasets (named feature columns
+plus a label vector).  pandas is not available in this environment, so
+:class:`Frame` provides the small slice of DataFrame behaviour the rest of
+the library needs: named float64 columns over a dense numpy matrix,
+column selection / assignment / removal, row slicing, and concatenation.
+
+Design notes
+------------
+* Data is stored column-major as a ``dict[str, np.ndarray]`` so column
+  appends (the hot operation during feature generation) are O(1) and do
+  not copy the whole table.
+* All columns are coerced to ``float64``.  Feature engineering operators
+  are numeric; categorical inputs are expected to be label-encoded by
+  :mod:`repro.ml.preprocessing` before entering a Frame.
+* Frames are mostly treated as immutable by the engines: mutating helpers
+  return new Frames unless the method name says ``inplace``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Frame"]
+
+
+class Frame:
+    """A column-labelled two-dimensional table of float64 values.
+
+    Parameters
+    ----------
+    data:
+        Mapping of column name to 1-D array-like, or a 2-D array combined
+        with ``columns``.
+    columns:
+        Column names when ``data`` is a 2-D array.  Ignored when ``data``
+        is a mapping.
+
+    Examples
+    --------
+    >>> f = Frame({"a": [1, 2], "b": [3, 4]})
+    >>> f.shape
+    (2, 2)
+    >>> f["a"].tolist()
+    [1.0, 2.0]
+    """
+
+    def __init__(
+        self,
+        data: Mapping[str, Iterable[float]] | np.ndarray | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> None:
+        self._data: dict[str, np.ndarray] = {}
+        self._length = 0
+        if data is None:
+            return
+        if isinstance(data, Mapping):
+            for name, values in data.items():
+                self[str(name)] = values
+        else:
+            matrix = np.asarray(data, dtype=np.float64)
+            if matrix.ndim == 1:
+                matrix = matrix.reshape(-1, 1)
+            if matrix.ndim != 2:
+                raise ValueError(f"expected 2-D data, got ndim={matrix.ndim}")
+            if columns is None:
+                columns = [f"f{i}" for i in range(matrix.shape[1])]
+            if len(columns) != matrix.shape[1]:
+                raise ValueError(
+                    f"{len(columns)} column names for {matrix.shape[1]} columns"
+                )
+            for j, name in enumerate(columns):
+                self[str(name)] = matrix[:, j]
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._data.keys())
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_columns)``."""
+        return (self._length, len(self._data))
+
+    @property
+    def n_rows(self) -> int:
+        return self._length
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._data
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __getitem__(self, key: str | Sequence[str]) -> np.ndarray | "Frame":
+        """Column access: a name returns the array, a list returns a Frame."""
+        if isinstance(key, str):
+            try:
+                return self._data[key]
+            except KeyError:
+                raise KeyError(f"no column named {key!r}") from None
+        return self.select(key)
+
+    def __setitem__(self, name: str, values: Iterable[float]) -> None:
+        column = np.asarray(values, dtype=np.float64).reshape(-1)
+        if self._data and column.shape[0] != self._length:
+            raise ValueError(
+                f"column {name!r} has length {column.shape[0]}, "
+                f"frame has {self._length} rows"
+            )
+        if not self._data:
+            self._length = column.shape[0]
+        self._data[name] = column
+
+    def __delitem__(self, name: str) -> None:
+        if name not in self._data:
+            raise KeyError(f"no column named {name!r}")
+        del self._data[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.columns != other.columns or self._length != other._length:
+            return False
+        return all(
+            np.array_equal(self._data[c], other._data[c], equal_nan=True)
+            for c in self.columns
+        )
+
+    def __repr__(self) -> str:
+        return f"Frame(rows={self._length}, columns={self.columns})"
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Return a dense ``(n_rows, n_columns)`` float64 matrix copy."""
+        if not self._data:
+            return np.empty((self._length, 0), dtype=np.float64)
+        return np.column_stack([self._data[c] for c in self.columns])
+
+    # Alias mirroring the pandas attribute the paper's code would use.
+    @property
+    def values(self) -> np.ndarray:
+        return self.to_array()
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._data)
+
+    def copy(self) -> "Frame":
+        """Deep copy (column arrays are copied)."""
+        out = Frame()
+        for name in self.columns:
+            out[name] = self._data[name].copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # Column operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a new Frame with only ``names``, in the given order."""
+        out = Frame()
+        for name in names:
+            if name not in self._data:
+                raise KeyError(f"no column named {name!r}")
+            out[name] = self._data[name]
+        if not names:
+            out._length = self._length
+        return out
+
+    def drop(self, names: str | Sequence[str]) -> "Frame":
+        """Return a new Frame without ``names``."""
+        if isinstance(names, str):
+            names = [names]
+        missing = [n for n in names if n not in self._data]
+        if missing:
+            raise KeyError(f"no column(s) named {missing!r}")
+        keep = [c for c in self.columns if c not in set(names)]
+        out = self.select(keep)
+        out._length = self._length
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Return a new Frame with columns renamed via ``mapping``."""
+        out = Frame()
+        for name in self.columns:
+            out[mapping.get(name, name)] = self._data[name]
+        return out
+
+    def assign(self, **named_columns: Iterable[float]) -> "Frame":
+        """Return a new Frame with the given columns added/replaced."""
+        out = self.copy()
+        for name, values in named_columns.items():
+            out[name] = values
+        return out
+
+    def with_column(self, name: str, values: Iterable[float]) -> "Frame":
+        """Return a new Frame with one column added/replaced.
+
+        Unlike :meth:`assign` the name may be any string (e.g. generated
+        operator expressions like ``"mul(f1,f2)"``).
+        """
+        out = self.copy()
+        out[name] = values
+        return out
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Frame":
+        """Return a new Frame with rows selected by integer ``indices``."""
+        idx = np.asarray(indices)
+        out = Frame()
+        for name in self.columns:
+            out[name] = self._data[name][idx]
+        if not self.columns:
+            out._length = len(idx)
+        return out
+
+    def head(self, n: int = 5) -> "Frame":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sample(
+        self, n: int, rng: np.random.Generator, replace: bool = False
+    ) -> "Frame":
+        """Random row sample using the caller-supplied generator."""
+        if not replace and n > self._length:
+            raise ValueError(f"cannot sample {n} rows from {self._length}")
+        idx = rng.choice(self._length, size=n, replace=replace)
+        return self.take(idx)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat_columns(frames: Sequence["Frame"]) -> "Frame":
+        """Horizontally concatenate Frames; duplicate names are suffixed."""
+        out = Frame()
+        seen: dict[str, int] = {}
+        for frame in frames:
+            for name in frame.columns:
+                unique = name
+                if unique in seen:
+                    seen[name] += 1
+                    unique = f"{name}__{seen[name]}"
+                else:
+                    seen[name] = 0
+                out[unique] = frame._data[name]
+        return out
+
+    @staticmethod
+    def concat_rows(frames: Sequence["Frame"]) -> "Frame":
+        """Vertically concatenate Frames with identical columns."""
+        if not frames:
+            return Frame()
+        columns = frames[0].columns
+        for frame in frames[1:]:
+            if frame.columns != columns:
+                raise ValueError("row concat requires identical columns")
+        out = Frame()
+        for name in columns:
+            out[name] = np.concatenate([f._data[name] for f in frames])
+        return out
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-column mean/std/min/max, NaN-aware."""
+        summary: dict[str, dict[str, float]] = {}
+        for name in self.columns:
+            column = self._data[name]
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                summary[name] = {
+                    "mean": float("nan"),
+                    "std": float("nan"),
+                    "min": float("nan"),
+                    "max": float("nan"),
+                }
+                continue
+            summary[name] = {
+                "mean": float(np.mean(finite)),
+                "std": float(np.std(finite)),
+                "min": float(np.min(finite)),
+                "max": float(np.max(finite)),
+            }
+        return summary
+
+    def isfinite(self) -> bool:
+        """True when every value in the frame is finite."""
+        return all(bool(np.isfinite(self._data[c]).all()) for c in self.columns)

@@ -1,0 +1,73 @@
+"""CSV persistence for :class:`repro.frame.Frame`.
+
+A deliberately small reader/writer: comma-separated, one header row,
+numeric payload, ``nan`` for missing values.  This is enough to cache
+generated feature sets between pipeline stages (the paper caches features
+produced by each AFE method before re-scoring them with other downstream
+models in Table V).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .frame import Frame
+
+__all__ = ["read_csv", "write_csv", "frame_to_csv_string", "frame_from_csv_string"]
+
+
+def frame_to_csv_string(frame: Frame, float_format: str = "%.12g") -> str:
+    """Serialize ``frame`` to a CSV string."""
+    buffer = io.StringIO()
+    buffer.write(",".join(_escape(c) for c in frame.columns))
+    buffer.write("\n")
+    matrix = frame.to_array()
+    for row in matrix:
+        buffer.write(",".join(float_format % value for value in row))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def frame_from_csv_string(text: str) -> Frame:
+    """Parse a CSV string produced by :func:`frame_to_csv_string`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return Frame()
+    columns = _split_header(lines[0])
+    if len(lines) == 1:
+        frame = Frame()
+        for name in columns:
+            frame[name] = np.empty(0, dtype=np.float64)
+        return frame
+    rows = np.empty((len(lines) - 1, len(columns)), dtype=np.float64)
+    for i, line in enumerate(lines[1:]):
+        parts = line.split(",")
+        if len(parts) != len(columns):
+            raise ValueError(
+                f"row {i + 1} has {len(parts)} fields, header has {len(columns)}"
+            )
+        rows[i] = [float(part) if part.strip() else np.nan for part in parts]
+    return Frame(rows, columns=columns)
+
+
+def write_csv(frame: Frame, path: str | Path) -> None:
+    """Write ``frame`` to ``path`` as CSV."""
+    Path(path).write_text(frame_to_csv_string(frame), encoding="utf-8")
+
+
+def read_csv(path: str | Path) -> Frame:
+    """Read a CSV file written by :func:`write_csv`."""
+    return frame_from_csv_string(Path(path).read_text(encoding="utf-8"))
+
+
+def _escape(name: str) -> str:
+    # Commas inside generated feature names like "add(f1,f2)" would break
+    # the round-trip; store them with a private placeholder.
+    return name.replace(",", ";")
+
+
+def _split_header(line: str) -> list[str]:
+    return [part.replace(";", ",") for part in line.split(",")]

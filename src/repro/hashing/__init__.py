@@ -1,0 +1,35 @@
+"""Approximate-feature substrate: MinHash and weighted CWS sketches."""
+
+from .compressor import SampleCompressor
+from .feature_hashing import FeatureHasher
+from .meta_features import MetaFeatureExtractor
+from .quantile_sketch import QuantileSketch
+from .cws import (
+    CCWS,
+    ICWS,
+    LICWS,
+    PCWS,
+    SAMPLER_NAMES,
+    cws_collision_similarity,
+    generalized_jaccard,
+    make_sampler,
+)
+from .minhash import MinHasher, jaccard, signature_similarity
+
+__all__ = [
+    "MinHasher",
+    "jaccard",
+    "signature_similarity",
+    "ICWS",
+    "CCWS",
+    "PCWS",
+    "LICWS",
+    "SAMPLER_NAMES",
+    "make_sampler",
+    "generalized_jaccard",
+    "cws_collision_similarity",
+    "SampleCompressor",
+    "FeatureHasher",
+    "QuantileSketch",
+    "MetaFeatureExtractor",
+]

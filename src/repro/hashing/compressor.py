@@ -1,0 +1,129 @@
+"""SampleCompressor: the FPE model's sample-size reducer (Equation 2).
+
+Projects a feature column with *arbitrary* sample count M onto a fixed
+``d``-dimensional vector by consistent weighted sampling, so that
+
+    | sim(D1, D2) - sim(compress(D1), compress(D2)) | < eps
+
+holds approximately (Eq. 2): two columns similar under generalized
+Jaccard stay similar after compression.  The compressor normalizes each
+column to non-negative [0, 1] weights first (CWS requires non-negative
+weights; min-max scaling also makes signatures comparable across
+features of wildly different magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.base import sanitize_matrix
+from .cws import _BaseCWS, make_sampler
+from .minhash import MinHasher
+
+__all__ = ["SampleCompressor"]
+
+
+class SampleCompressor:
+    """Compress feature columns of any length into d-dim signatures.
+
+    Parameters
+    ----------
+    method:
+        ``"ccws"`` (paper default), ``"icws"``, ``"pcws"``, ``"licws"``,
+        ``"minhash"`` (classic unweighted sketch), or one of the
+        related-work backends used by the Q6 ablation: ``"fhash"``
+        (feature hashing), ``"quantile"`` (LFE-style quantile sketch),
+        ``"meta"`` (statistical meta-features).
+    d:
+        Output dimension (the paper's default signature size is 48).
+    seed:
+        Drives every random field; identical seeds give identical
+        signatures, which is what makes signatures comparable across the
+        pre-training corpus and the target dataset.
+    """
+
+    METHODS = ("ccws", "icws", "pcws", "licws", "minhash", "fhash", "quantile", "meta")
+
+    def __init__(self, method: str = "ccws", d: int = 48, seed: int = 0) -> None:
+        from .feature_hashing import FeatureHasher
+        from .meta_features import MetaFeatureExtractor
+        from .quantile_sketch import QuantileSketch
+
+        self.method = method.lower()
+        self.d = d
+        self.seed = seed
+        if self.method == "minhash":
+            self._hasher = MinHasher(d=d, seed=seed)
+        elif self.method == "fhash":
+            self._hasher = FeatureHasher(d=d, seed=seed)
+        elif self.method == "quantile":
+            self._hasher = QuantileSketch(d=d, seed=seed)
+        elif self.method == "meta":
+            self._hasher = MetaFeatureExtractor(d=d, seed=seed)
+        else:
+            self._hasher = make_sampler(self.method, d=d, seed=seed)
+
+    @staticmethod
+    def normalize_column(column: np.ndarray) -> np.ndarray:
+        """Min-max scale a column to [0, 1] after sanitizing non-finites."""
+        values = sanitize_matrix(
+            np.asarray(column, dtype=np.float64).reshape(-1, 1)
+        )[:, 0]
+        low, high = values.min(), values.max()
+        if high == low:
+            return np.zeros_like(values)
+        return (values - low) / (high - low)
+
+    def compress_column(self, column: np.ndarray) -> np.ndarray:
+        """Fixed-size signature of one feature column."""
+        column = np.asarray(column, dtype=np.float64).reshape(-1)
+        if column.size == 0:
+            raise ValueError("cannot compress an empty column")
+        weights = self.normalize_column(column)
+        return self._hasher.compress(weights)
+
+    def compress_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Compress every column: ``(M, N)`` input -> ``(N, d)`` output.
+
+        Each *feature* becomes one row of the result — the orientation
+        the FPE classifier consumes (features are its instances).
+        """
+        matrix = np.asarray(X, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(-1, 1)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        return np.vstack(
+            [self.compress_column(matrix[:, j]) for j in range(matrix.shape[1])]
+        )
+
+    def similarity(self, column_a: np.ndarray, column_b: np.ndarray) -> float:
+        """Signature-space similarity estimate between two columns.
+
+        For CWS methods this is the element-collision rate; for classic
+        MinHash the slot-collision rate (both unbiased Jaccard
+        estimators).  The vector backends (fhash/quantile/meta) use
+        cosine similarity of their signatures, mapped to [0, 1].
+        """
+        a = self.normalize_column(np.asarray(column_a, dtype=np.float64).reshape(-1))
+        b = self.normalize_column(np.asarray(column_b, dtype=np.float64).reshape(-1))
+        if isinstance(self._hasher, MinHasher):
+            return float(
+                np.mean(self._hasher.signature(a) == self._hasher.signature(b))
+            )
+        if isinstance(self._hasher, _BaseCWS):
+            elements_a, _ = self._hasher.signature(a)
+            elements_b, _ = self._hasher.signature(b)
+            return float(np.mean(elements_a == elements_b))
+        sig_a = self._hasher.compress(a)
+        sig_b = self._hasher.compress(b)
+        norm = np.linalg.norm(sig_a) * np.linalg.norm(sig_b)
+        if norm == 0.0:
+            return 1.0 if np.allclose(sig_a, sig_b) else 0.0
+        return float((1.0 + sig_a @ sig_b / norm) / 2.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleCompressor(method={self.method!r}, d={self.d}, "
+            f"seed={self.seed})"
+        )

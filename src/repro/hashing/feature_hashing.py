@@ -1,0 +1,66 @@
+"""Feature hashing (Weinberger et al., ICML 2009) — related-work method.
+
+Section V-B of the paper surveys approximate-feature approaches; the
+hashing trick is the classic one: tokens are hashed into ``d`` buckets
+with a signed hash so inner products stay unbiased.  We implement it as
+an alternative signature backend for the FPE model, which lets the
+"Why MinHash?" question (paper Q6) be answered empirically — see
+``benchmarks/test_ablation_signatures.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.preprocessing import QuantileBinner
+
+__all__ = ["FeatureHasher"]
+
+_PRIME = (1 << 31) - 1
+
+
+class FeatureHasher:
+    """Signed hashing of tokenized columns into ``d`` buckets.
+
+    Tokenization matches :class:`~repro.hashing.MinHasher` (sample-index
+    x quantile-bin tokens) so the two backends sketch exactly the same
+    set representation and differ only in the compression operator.
+    """
+
+    def __init__(self, d: int = 48, n_bins: int = 8, seed: int = 0) -> None:
+        if d < 1:
+            raise ValueError("signature dimension d must be positive")
+        self.d = d
+        self.n_bins = n_bins
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Independent universal hashes for bucket index and sign.
+        self._a_bucket = int(rng.integers(1, _PRIME))
+        self._b_bucket = int(rng.integers(0, _PRIME))
+        self._a_sign = int(rng.integers(1, _PRIME))
+        self._b_sign = int(rng.integers(0, _PRIME))
+
+    def tokenize(self, column: np.ndarray) -> np.ndarray:
+        values = np.asarray(column, dtype=np.float64).reshape(-1, 1)
+        values = np.nan_to_num(values, posinf=0.0, neginf=0.0)
+        bins = QuantileBinner(n_bins=self.n_bins).fit_transform(values)[:, 0]
+        return np.arange(len(values), dtype=np.int64) * self.n_bins + bins
+
+    def signature_of_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """phi(x)_j = sum over tokens hashing to bucket j of xi(token)."""
+        ids = np.asarray(tokens, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(self.d)
+        buckets = ((self._a_bucket * ids + self._b_bucket) % _PRIME) % self.d
+        signs = np.where(
+            ((self._a_sign * ids + self._b_sign) % _PRIME) % 2 == 0, 1.0, -1.0
+        )
+        out = np.zeros(self.d)
+        np.add.at(out, buckets, signs)
+        # Normalize by token count so signatures of different-length
+        # columns are comparable (the FPE use case).
+        return out / np.sqrt(ids.size)
+
+    def compress(self, column: np.ndarray) -> np.ndarray:
+        """Fixed-size signed-count sketch of a real-valued column."""
+        return self.signature_of_tokens(self.tokenize(column))

@@ -1,0 +1,81 @@
+"""Statistical meta-features — the hand-crafted alternative (paper §V-B).
+
+ExploreKit / MFE-style dataset characterization: a feature column is
+summarized by a fixed vector of statistical descriptors.  Included as
+the third signature backend for the Q6 ablation: hand-crafted
+meta-features vs distribution sketches vs MinHash.
+
+The descriptor set (padded/truncated to ``d``): moments (mean, std,
+skewness, kurtosis), order statistics (min, max, median, IQR),
+dispersion (MAD, coefficient of variation), information (histogram
+entropy, unique-value ratio), shape (zero fraction, negative fraction,
+outlier fraction), and tail ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["MetaFeatureExtractor"]
+
+
+class MetaFeatureExtractor:
+    """Fixed-size vector of statistical descriptors of a column."""
+
+    #: number of base descriptors before padding/truncation
+    N_BASE = 16
+
+    def __init__(self, d: int = 48, seed: int = 0) -> None:
+        if d < 1:
+            raise ValueError("signature dimension d must be positive")
+        self.d = d
+        self.seed = seed  # unused; backend interface parity
+
+    def describe(self, column: np.ndarray) -> np.ndarray:
+        """The 16 base descriptors (documented order)."""
+        values = np.asarray(column, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            raise ValueError("cannot describe an empty column")
+        values = np.nan_to_num(values, posinf=0.0, neginf=0.0)
+        n = values.size
+        mean = float(values.mean())
+        std = float(values.std())
+        median = float(np.median(values))
+        q1, q3 = np.percentile(values, [25, 75])
+        mad = float(np.median(np.abs(values - median)))
+        histogram, _ = np.histogram(values, bins=min(16, max(2, n // 4)))
+        probabilities = histogram / max(histogram.sum(), 1)
+        entropy = float(-(probabilities[probabilities > 0]
+                          * np.log(probabilities[probabilities > 0])).sum())
+        spread = float(values.max() - values.min())
+        outlier_cut = 3.0 * std if std > 0 else np.inf
+        descriptors = np.array(
+            [
+                mean,
+                std,
+                float(stats.skew(values)) if std > 1e-12 else 0.0,
+                float(stats.kurtosis(values)) if std > 1e-12 else 0.0,
+                float(values.min()),
+                float(values.max()),
+                median,
+                float(q3 - q1),
+                mad,
+                std / abs(mean) if abs(mean) > 1e-12 else 0.0,
+                entropy,
+                len(np.unique(values)) / n,
+                float(np.mean(values == 0.0)),
+                float(np.mean(values < 0.0)),
+                float(np.mean(np.abs(values - mean) > outlier_cut)),
+                spread / (std + 1e-12) if std > 0 else 0.0,
+            ]
+        )
+        return np.nan_to_num(descriptors, posinf=0.0, neginf=0.0)
+
+    def compress(self, column: np.ndarray) -> np.ndarray:
+        """Descriptors cycled/truncated to the requested dimension d."""
+        base = self.describe(column)
+        if self.d <= self.N_BASE:
+            return base[: self.d]
+        repeats = int(np.ceil(self.d / self.N_BASE))
+        return np.tile(base, repeats)[: self.d]

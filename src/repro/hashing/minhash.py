@@ -1,0 +1,95 @@
+"""Classic (unweighted) MinHash over tokenized feature columns.
+
+MinHash compresses a *set* to a fixed-length signature whose per-slot
+collision probability equals the Jaccard similarity of the underlying
+sets (Broder's classic result; see Wu et al., "A Review for Weighted
+MinHash Algorithms", TKDE 2020 — the paper's reference [7]).
+
+A real-valued feature column is not a set, so we tokenize it first:
+sample ``i`` with quantile-bin ``b`` becomes token ``i * n_bins + b``.
+Two columns that rank their samples similarly share most tokens, hence
+hash to similar signatures — the similarity-preservation property
+Equation 2 of the paper requires from its sample compressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.preprocessing import QuantileBinner
+
+__all__ = ["MinHasher", "jaccard", "signature_similarity"]
+
+# Mersenne prime 2^31 - 1: large enough for any token id we generate
+# (tokens are sample_index * n_bins + bin < 2^31 for realistic tables)
+# while keeping a * token + b inside int64 without overflow.
+_PRIME = (1 << 31) - 1
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Exact Jaccard similarity of two token arrays (as sets)."""
+    set_a, set_b = set(a.tolist()), set(b.tolist())
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def signature_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """Fraction of colliding signature slots — the MinHash estimator."""
+    if sig_a.shape != sig_b.shape:
+        raise ValueError("signatures must have identical shape")
+    if sig_a.size == 0:
+        raise ValueError("empty signatures")
+    return float(np.mean(sig_a == sig_b))
+
+
+class MinHasher:
+    """d independent universal hash functions ``h(x) = (a x + b) mod p``.
+
+    Parameters
+    ----------
+    d:
+        Signature length (the paper's MinHash output dimension; default
+        48 per Section IV-A4).
+    n_bins:
+        Quantile bins used to tokenize real-valued columns.
+    seed:
+        Seeds the hash coefficients; signatures are deterministic.
+    """
+
+    def __init__(self, d: int = 48, n_bins: int = 8, seed: int = 0) -> None:
+        if d < 1:
+            raise ValueError("signature dimension d must be positive")
+        self.d = d
+        self.n_bins = n_bins
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _PRIME, size=d, dtype=np.int64)
+        self._b = rng.integers(0, _PRIME, size=d, dtype=np.int64)
+
+    def tokenize(self, column: np.ndarray) -> np.ndarray:
+        """Turn a real-valued column into ``(sample, bin)`` token ids."""
+        values = np.asarray(column, dtype=np.float64).reshape(-1, 1)
+        values = np.nan_to_num(values, posinf=0.0, neginf=0.0)
+        bins = QuantileBinner(n_bins=self.n_bins).fit_transform(values)[:, 0]
+        return np.arange(len(values), dtype=np.int64) * self.n_bins + bins
+
+    def signature_of_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Integer signature: per-slot minimum of hashed token values."""
+        ids = np.unique(np.asarray(tokens, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(self.d, dtype=np.int64)
+        if ids.max() >= _PRIME or ids.min() < 0:
+            raise ValueError("token ids must lie in [0, 2^31 - 1)")
+        # (d, n_tokens) hashed values; a < p and id < p keep the product
+        # below 2^62, safely inside int64.
+        hashed = (self._a[:, None] * ids[None, :] + self._b[:, None]) % _PRIME
+        return hashed.min(axis=1)
+
+    def signature(self, column: np.ndarray) -> np.ndarray:
+        """Integer signature of a real-valued feature column."""
+        return self.signature_of_tokens(self.tokenize(column))
+
+    def compress(self, column: np.ndarray) -> np.ndarray:
+        """Float signature in [0, 1) — classifier-ready representation."""
+        return self.signature(column).astype(np.float64) / _PRIME

@@ -1,0 +1,38 @@
+"""Quantile data sketch — the representation LFE used (paper §V-B).
+
+Learning Feature Engineering (Nargesian et al., IJCAI 2017) represents
+a feature by fixed-size quantile summaries of its values.  As a
+signature backend it captures the marginal distribution's shape
+directly (no hashing), at the cost of losing all sample alignment —
+exactly the trade-off the paper's Q6 discussion implies MinHash avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """d evenly spaced quantiles of the (sanitized, scaled) column."""
+
+    def __init__(self, d: int = 48, seed: int = 0) -> None:
+        if d < 2:
+            raise ValueError("quantile sketch needs d >= 2")
+        self.d = d
+        self.seed = seed  # unused; kept for backend interface parity
+        self._levels = np.linspace(0.0, 1.0, d)
+
+    def compress(self, column: np.ndarray) -> np.ndarray:
+        """d-quantile summary in [0, 1] after min-max scaling."""
+        values = np.asarray(column, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            raise ValueError("cannot sketch an empty column")
+        values = np.nan_to_num(values, posinf=0.0, neginf=0.0)
+        low, high = values.min(), values.max()
+        if high > low:
+            values = (values - low) / (high - low)
+        else:
+            values = np.zeros_like(values)
+        return np.quantile(values, self._levels)

@@ -1,0 +1,94 @@
+"""ML substrate: the sklearn stand-in the reproduction is built on."""
+
+from .base import (
+    BaseEstimator,
+    Estimator,
+    check_matrix,
+    check_X_y,
+    clone,
+    sanitize_matrix,
+)
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .neighbors import KNeighborsClassifier, KNeighborsRegressor
+from .gp import GaussianProcessRegressor
+from .linear import LinearSVC, LogisticRegression, Ridge
+from .metrics import (
+    accuracy_score,
+    f1_score,
+    mean_absolute_error,
+    mean_squared_error,
+    one_minus_rae,
+    precision_score,
+    r2_score,
+    recall_score,
+    relative_absolute_error,
+    score_for_task,
+)
+from .mlp import MLPClassifier, MLPRegressor
+from .model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_mean,
+    cross_val_score,
+    train_test_split,
+)
+from .naive_bayes import GaussianNB
+from .optim import SGD, Adam
+from .preprocessing import (
+    LabelEncoder,
+    MeanImputer,
+    MinMaxScaler,
+    QuantileBinner,
+    StandardScaler,
+)
+from .resnet import RTDLN, TabularResNet
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "Estimator",
+    "clone",
+    "check_matrix",
+    "check_X_y",
+    "sanitize_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "relative_absolute_error",
+    "one_minus_rae",
+    "score_for_task",
+    "MinMaxScaler",
+    "StandardScaler",
+    "LabelEncoder",
+    "MeanImputer",
+    "QuantileBinner",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_val_score",
+    "cross_val_mean",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "LogisticRegression",
+    "LinearSVC",
+    "Ridge",
+    "GaussianNB",
+    "GaussianProcessRegressor",
+    "MLPClassifier",
+    "MLPRegressor",
+    "TabularResNet",
+    "RTDLN",
+    "SGD",
+    "Adam",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+]

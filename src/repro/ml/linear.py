@@ -1,0 +1,211 @@
+"""Linear models: logistic regression, linear SVM, ridge regression.
+
+Table V of the paper re-scores cached AFE features with alternative
+downstream models including SVM.  We use a linear SVM trained by
+subgradient descent on the hinge loss (Pegasos-style) — the standard
+laptop-scale substitute for libsvm — plus logistic regression (the FPE
+binary classifier option) and ridge (closed-form regression baseline).
+
+Multi-class handling is one-vs-rest for both classifiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix, check_X_y
+from .preprocessing import StandardScaler
+
+__all__ = ["LogisticRegression", "LinearSVC", "Ridge"]
+
+
+def _add_bias(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(BaseEstimator):
+    """L2-regularized logistic regression via full-batch gradient descent."""
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        n_iter: int = 200,
+        l2: float = 1e-3,
+        standardize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.standardize = standardize
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+
+    def _prepare(self, X: np.ndarray, fit_scaler: bool) -> np.ndarray:
+        if self.standardize:
+            if fit_scaler:
+                self._scaler = StandardScaler().fit(X)
+            if self._scaler is not None:
+                X = self._scaler.transform(X)
+        return _add_bias(X)
+
+    def fit(self, X, y) -> "LogisticRegression":
+        matrix, target = check_X_y(X, y)
+        design = self._prepare(matrix, fit_scaler=True)
+        self.classes_ = np.unique(target)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            # Degenerate single-class training fold: predict that class.
+            self._weights = np.zeros((1, design.shape[1]))
+            return self
+        # One-vs-rest: one weight vector per class (2 classes -> 1 vector).
+        n_models = 1 if n_classes == 2 else n_classes
+        weights = np.zeros((n_models, design.shape[1]))
+        for k in range(n_models):
+            positive = (target == self.classes_[k + 1 if n_models == 1 else k])
+            binary = positive.astype(np.float64)
+            w = weights[k]
+            for _ in range(self.n_iter):
+                margin = design @ w
+                probability = _sigmoid(margin)
+                gradient = design.T @ (probability - binary) / design.shape[0]
+                gradient += self.l2 * w
+                w -= self.lr * gradient
+        self._weights = weights
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self._weights is None or self.classes_ is None:
+            raise RuntimeError("LogisticRegression is not fitted")
+        design = self._prepare(check_matrix(X, allow_nonfinite=True), False)
+        return design @ self._weights.T
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        if len(self.classes_) < 2:
+            return np.ones((scores.shape[0], 1))
+        if scores.shape[1] == 1:
+            positive = _sigmoid(scores[:, 0])
+            return np.column_stack([1.0 - positive, positive])
+        exp = np.exp(scores - scores.max(axis=1, keepdims=True))
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+class LinearSVC(BaseEstimator):
+    """Linear SVM trained with Pegasos subgradient descent on hinge loss."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        n_iter: int = 300,
+        standardize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = C
+        self.n_iter = n_iter
+        self.standardize = standardize
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+
+    def _prepare(self, X: np.ndarray, fit_scaler: bool) -> np.ndarray:
+        if self.standardize:
+            if fit_scaler:
+                self._scaler = StandardScaler().fit(X)
+            if self._scaler is not None:
+                X = self._scaler.transform(X)
+        return _add_bias(X)
+
+    def _fit_binary(self, design: np.ndarray, signs: np.ndarray) -> np.ndarray:
+        """Pegasos: lambda = 1 / (C * n)."""
+        n_samples = design.shape[0]
+        lam = 1.0 / (self.C * n_samples)
+        w = np.zeros(design.shape[1])
+        rng = np.random.default_rng(self.seed)
+        for t in range(1, self.n_iter + 1):
+            batch = rng.integers(0, n_samples, size=min(64, n_samples))
+            margin = signs[batch] * (design[batch] @ w)
+            violating = margin < 1.0
+            step = 1.0 / (lam * t)
+            gradient = lam * w
+            if violating.any():
+                gradient -= (
+                    (signs[batch][violating, None] * design[batch][violating]).mean(
+                        axis=0
+                    )
+                )
+            w -= step * gradient
+        return w
+
+    def fit(self, X, y) -> "LinearSVC":
+        matrix, target = check_X_y(X, y)
+        design = self._prepare(matrix, fit_scaler=True)
+        self.classes_ = np.unique(target)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            self._weights = np.zeros((1, design.shape[1]))
+            return self
+        n_models = 1 if n_classes == 2 else n_classes
+        weights = np.zeros((n_models, design.shape[1]))
+        for k in range(n_models):
+            positive = target == self.classes_[k + 1 if n_models == 1 else k]
+            signs = np.where(positive, 1.0, -1.0)
+            weights[k] = self._fit_binary(design, signs)
+        self._weights = weights
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self._weights is None or self.classes_ is None:
+            raise RuntimeError("LinearSVC is not fitted")
+        design = self._prepare(check_matrix(X, allow_nonfinite=True), False)
+        return design @ self._weights.T
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        if len(self.classes_) < 2:
+            return np.full(scores.shape[0], self.classes_[0])
+        if scores.shape[1] == 1:
+            return self.classes_[(scores[:, 0] > 0).astype(np.int64)]
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class Ridge(BaseEstimator):
+    """Closed-form L2-regularized least squares."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._weights: np.ndarray | None = None
+
+    def fit(self, X, y) -> "Ridge":
+        matrix, target = check_X_y(X, y)
+        design = _add_bias(matrix)
+        regularizer = self.alpha * np.eye(design.shape[1])
+        regularizer[-1, -1] = 0.0  # never penalize the intercept
+        gram = design.T @ design + regularizer
+        self._weights = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("Ridge is not fitted")
+        return _add_bias(check_matrix(X, allow_nonfinite=True)) @ self._weights

@@ -1,0 +1,167 @@
+"""Evaluation metrics used throughout the paper.
+
+The paper scores classification with F1 (macro-averaged — Table III mixes
+binary and multi-class datasets) and regression with 1-RAE
+(``1 - relative absolute error``, Section IV-A2).  This module implements
+those plus the standard companions (precision, recall, accuracy, MSE,
+MAE, R²) that the FPE model and tests rely on.
+
+All classification metrics accept arbitrary label values (they are
+compared by equality, not assumed to be 0/1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_counts",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "relative_absolute_error",
+    "one_minus_rae",
+    "score_for_task",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).reshape(-1)
+    pred = np.asarray(y_pred).reshape(-1)
+    if true.shape[0] != pred.shape[0]:
+        raise ValueError(
+            f"y_true has {true.shape[0]} entries, y_pred has {pred.shape[0]}"
+        )
+    if true.shape[0] == 0:
+        raise ValueError("empty target arrays")
+    return true, pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    true, pred = _validate(y_true, y_pred)
+    return float(np.mean(true == pred))
+
+
+def confusion_counts(y_true, y_pred, label) -> tuple[int, int, int]:
+    """``(tp, fp, fn)`` for one-vs-rest of ``label``."""
+    true, pred = _validate(y_true, y_pred)
+    is_true = true == label
+    is_pred = pred == label
+    tp = int(np.sum(is_true & is_pred))
+    fp = int(np.sum(~is_true & is_pred))
+    fn = int(np.sum(is_true & ~is_pred))
+    return tp, fp, fn
+
+
+def _per_label_prf(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-label precision/recall/f1 and supports over union of labels."""
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    precision = np.zeros(len(labels))
+    recall = np.zeros(len(labels))
+    f1 = np.zeros(len(labels))
+    support = np.zeros(len(labels))
+    for i, label in enumerate(labels):
+        tp, fp, fn = confusion_counts(y_true, y_pred, label)
+        precision[i] = tp / (tp + fp) if tp + fp else 0.0
+        recall[i] = tp / (tp + fn) if tp + fn else 0.0
+        denominator = precision[i] + recall[i]
+        f1[i] = 2 * precision[i] * recall[i] / denominator if denominator else 0.0
+        support[i] = tp + fn
+    return precision, recall, f1, support
+
+
+def _average(values: np.ndarray, support: np.ndarray, average: str) -> float:
+    if average == "macro":
+        return float(np.mean(values))
+    if average == "weighted":
+        total = support.sum()
+        if total == 0:
+            return 0.0
+        return float(np.sum(values * support) / total)
+    raise ValueError(f"unknown average {average!r}; use 'macro', 'weighted' or 'binary'")
+
+
+def precision_score(y_true, y_pred, average: str = "macro") -> float:
+    """Precision, macro/weighted averaged or binary (positive label = 1)."""
+    true, pred = _validate(y_true, y_pred)
+    if average == "binary":
+        tp, fp, _ = confusion_counts(true, pred, 1)
+        return tp / (tp + fp) if tp + fp else 0.0
+    precision, _, _, support = _per_label_prf(true, pred)
+    return _average(precision, support, average)
+
+
+def recall_score(y_true, y_pred, average: str = "macro") -> float:
+    """Recall, macro/weighted averaged or binary (positive label = 1)."""
+    true, pred = _validate(y_true, y_pred)
+    if average == "binary":
+        tp, _, fn = confusion_counts(true, pred, 1)
+        return tp / (tp + fn) if tp + fn else 0.0
+    _, recall, _, support = _per_label_prf(true, pred)
+    return _average(recall, support, average)
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """F1 = harmonic mean of precision and recall."""
+    true, pred = _validate(y_true, y_pred)
+    if average == "binary":
+        p = precision_score(true, pred, average="binary")
+        r = recall_score(true, pred, average="binary")
+        return 2 * p * r / (p + r) if p + r else 0.0
+    _, _, f1, support = _per_label_prf(true, pred)
+    return _average(f1, support, average)
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared prediction errors."""
+    true, pred = _validate(y_true, y_pred)
+    return float(np.mean((true.astype(float) - pred.astype(float)) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute prediction errors."""
+    true, pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(true.astype(float) - pred.astype(float))))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0.0 when the target is constant."""
+    true, pred = _validate(y_true, y_pred)
+    true = true.astype(float)
+    total = float(np.sum((true - true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    residual = float(np.sum((true - pred.astype(float)) ** 2))
+    return 1.0 - residual / total
+
+
+def relative_absolute_error(y_true, y_pred) -> float:
+    """RAE = sum|y_hat - y| / sum|mean(y) - y| (Section IV-A2)."""
+    true, pred = _validate(y_true, y_pred)
+    true = true.astype(float)
+    baseline = float(np.sum(np.abs(true.mean() - true)))
+    if baseline == 0.0:
+        # Constant target: any exact prediction is perfect, otherwise worst.
+        return 0.0 if np.allclose(pred, true) else 1.0
+    return float(np.sum(np.abs(pred.astype(float) - true)) / baseline)
+
+
+def one_minus_rae(y_true, y_pred) -> float:
+    """The paper's regression score: 1 - RAE (higher is better, ≤ 1)."""
+    return 1.0 - relative_absolute_error(y_true, y_pred)
+
+
+def score_for_task(task: str, y_true, y_pred) -> float:
+    """The paper's metric for a task type: F1 for 'C', 1-RAE for 'R'."""
+    if task == "C":
+        return f1_score(y_true, y_pred, average="macro")
+    if task == "R":
+        return one_minus_rae(y_true, y_pred)
+    raise ValueError(f"unknown task type {task!r}; expected 'C' or 'R'")

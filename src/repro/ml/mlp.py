@@ -1,0 +1,181 @@
+"""Multi-layer perceptron classifier/regressor with numpy backprop.
+
+Serves three roles in the reproduction:
+
+* Table V downstream-task swap ("MLP" columns);
+* the FPE model's binary classifier option (the paper trains the
+  feature-validness classifier with SGD on cross-entropy);
+* the shared dense-layer machinery reused by the tabular ResNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix, check_X_y
+from .optim import Adam
+from .preprocessing import StandardScaler
+
+__all__ = ["MLPClassifier", "MLPRegressor", "dense_forward", "dense_backward"]
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def dense_forward(
+    X: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Affine layer: ``X @ W + b``."""
+    return X @ weights + bias
+
+
+def dense_backward(
+    X: np.ndarray, grad_out: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of an affine layer: ``(dX, dW, db)``."""
+    grad_w = X.T @ grad_out
+    grad_b = grad_out.sum(axis=0)
+    grad_x = grad_out @ weights.T
+    return grad_x, grad_w, grad_b
+
+
+class _BaseMLP(BaseEstimator):
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (64, 32),
+        lr: float = 0.01,
+        n_epochs: int = 60,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._scaler: StandardScaler | None = None
+
+    def _init_params(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        sizes = [n_in, *self.hidden_sizes, n_out]
+        self._weights, self._biases = [], []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / a)  # He initialization for ReLU nets
+            self._weights.append(rng.normal(0.0, scale, size=(a, b)))
+            self._biases.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return final pre-activation and the post-activation cache."""
+        activations = [X]
+        hidden = X
+        for weights, bias in zip(self._weights[:-1], self._biases[:-1]):
+            hidden = relu(dense_forward(hidden, weights, bias))
+            activations.append(hidden)
+        logits = dense_forward(hidden, self._weights[-1], self._biases[-1])
+        return logits, activations
+
+    def _backward(
+        self, activations: list[np.ndarray], grad_logits: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        grad_ws = [np.zeros_like(w) for w in self._weights]
+        grad_bs = [np.zeros_like(b) for b in self._biases]
+        grad = grad_logits
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grad, grad_ws[layer], grad_bs[layer] = dense_backward(
+                activations[layer], grad, self._weights[layer]
+            )
+            grad_ws[layer] += self.l2 * self._weights[layer]
+            if layer > 0:
+                grad = grad * (activations[layer] > 0.0)
+        return grad_ws, grad_bs
+
+    def _train(
+        self, X: np.ndarray, targets: np.ndarray, n_out: int,
+        grad_fn,
+    ) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._scaler = StandardScaler().fit(X)
+        scaled = self._scaler.transform(X)
+        self._init_params(scaled.shape[1], n_out, rng)
+        optimizer = Adam(lr=self.lr)
+        n_samples = scaled.shape[0]
+        batch = min(self.batch_size, n_samples)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                rows = order[start : start + batch]
+                logits, activations = self._forward(scaled[rows])
+                grad_logits = grad_fn(logits, targets[rows]) / len(rows)
+                grad_ws, grad_bs = self._backward(activations, grad_logits)
+                optimizer.step(
+                    self._weights + self._biases, grad_ws + grad_bs
+                )
+
+    def _transform_inputs(self, X) -> np.ndarray:
+        if self._scaler is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        matrix = check_matrix(X, allow_nonfinite=True)
+        return self._scaler.transform(np.nan_to_num(matrix))
+
+
+class MLPClassifier(_BaseMLP):
+    """Softmax-output MLP trained with cross-entropy."""
+
+    def fit(self, X, y) -> "MLPClassifier":
+        matrix, target = check_X_y(X, y)
+        self.classes_ = np.unique(target)
+        encoded = np.searchsorted(self.classes_, target)
+        n_classes = max(len(self.classes_), 2)
+        one_hot = np.zeros((len(encoded), n_classes))
+        one_hot[np.arange(len(encoded)), encoded] = 1.0
+
+        def grad_fn(logits: np.ndarray, batch_targets: np.ndarray) -> np.ndarray:
+            return softmax(logits) - batch_targets
+
+        self._train(matrix, one_hot, n_classes, grad_fn)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        scaled = self._transform_inputs(X)
+        logits, _ = self._forward(scaled)
+        return softmax(logits)
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        indices = np.argmax(probabilities[:, : len(self.classes_)], axis=1)
+        return self.classes_[indices]
+
+
+class MLPRegressor(_BaseMLP):
+    """Linear-output MLP trained with mean squared error.
+
+    The target is internally standardized so the loss scale (and thus the
+    effective learning rate) does not depend on the unit of y.
+    """
+
+    def fit(self, X, y) -> "MLPRegressor":
+        matrix, target = check_X_y(X, y)
+        self._y_mean = float(target.mean())
+        self._y_std = float(target.std()) or 1.0
+        normalized = (target - self._y_mean) / self._y_std
+
+        def grad_fn(logits: np.ndarray, batch_targets: np.ndarray) -> np.ndarray:
+            return 2.0 * (logits - batch_targets.reshape(-1, 1))
+
+        self._train(matrix, normalized, 1, grad_fn)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        scaled = self._transform_inputs(X)
+        logits, _ = self._forward(scaled)
+        return logits[:, 0] * self._y_std + self._y_mean

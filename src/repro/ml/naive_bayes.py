@@ -1,0 +1,72 @@
+"""Gaussian Naive Bayes (Table V downstream-task swap, "NB" column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix, check_X_y
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator):
+    """Per-class independent Gaussians with variance smoothing.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    every per-class variance, which keeps constant generated features
+    (variance 0) from producing infinite likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be non-negative")
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self._theta: np.ndarray | None = None  # (n_classes, n_features) means
+        self._var: np.ndarray | None = None
+        self._log_prior: np.ndarray | None = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        matrix, target = check_X_y(X, y)
+        self.classes_ = np.unique(target)
+        n_classes = len(self.classes_)
+        n_features = matrix.shape[1]
+        theta = np.zeros((n_classes, n_features))
+        var = np.zeros((n_classes, n_features))
+        prior = np.zeros(n_classes)
+        epsilon = self.var_smoothing * max(float(matrix.var(axis=0).max()), 1e-12)
+        for k, label in enumerate(self.classes_):
+            rows = matrix[target == label]
+            theta[k] = rows.mean(axis=0)
+            var[k] = rows.var(axis=0) + epsilon
+            prior[k] = rows.shape[0] / matrix.shape[0]
+        self._theta, self._var = theta, np.maximum(var, 1e-12)
+        self._log_prior = np.log(prior)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        log_likelihood = np.empty((X.shape[0], len(self.classes_)))
+        for k in range(len(self.classes_)):
+            gaussian = -0.5 * (
+                np.log(2.0 * np.pi * self._var[k])
+                + (X - self._theta[k]) ** 2 / self._var[k]
+            )
+            log_likelihood[:, k] = self._log_prior[k] + gaussian.sum(axis=1)
+        return log_likelihood
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._theta is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        matrix = check_matrix(X, allow_nonfinite=True)
+        if matrix.shape[1] != self._theta.shape[1]:
+            raise ValueError(
+                f"fitted on {self._theta.shape[1]} features, got {matrix.shape[1]}"
+            )
+        joint = self._joint_log_likelihood(np.nan_to_num(matrix))
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

@@ -1,0 +1,74 @@
+"""k-nearest-neighbours models (extra downstream-task family).
+
+Not in the paper's Table V, but the natural next downstream scorer a
+user of the library reaches for; also useful in tests because KNN
+responds very differently to engineered features than trees do
+(distance-based vs split-based).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix, check_X_y
+from .preprocessing import StandardScaler
+
+__all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
+
+
+class _BaseKNN(BaseEstimator):
+    def __init__(self, n_neighbors: int = 5, standardize: bool = True) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+        self.standardize = standardize
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X, y):
+        matrix, target = check_X_y(X, y)
+        if self.standardize:
+            self._scaler = StandardScaler().fit(matrix)
+            matrix = self._scaler.transform(matrix)
+        self._X, self._y = matrix, target
+        return self
+
+    def _neighbor_targets(self, X) -> np.ndarray:
+        """Targets of the k nearest training rows per query row."""
+        if self._X is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        matrix = check_matrix(X, allow_nonfinite=True)
+        matrix = np.nan_to_num(matrix)
+        if self._scaler is not None:
+            matrix = self._scaler.transform(matrix)
+        if matrix.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"fitted on {self._X.shape[1]} features, got {matrix.shape[1]}"
+            )
+        k = min(self.n_neighbors, self._X.shape[0])
+        # Squared euclidean distances, fully vectorized.
+        sq_train = np.sum(self._X**2, axis=1)[None, :]
+        sq_query = np.sum(matrix**2, axis=1)[:, None]
+        distances = sq_query + sq_train - 2.0 * matrix @ self._X.T
+        nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        return self._y[nearest]
+
+
+class KNeighborsClassifier(_BaseKNN):
+    """Majority vote over the k nearest neighbours."""
+
+    def predict(self, X) -> np.ndarray:
+        votes = self._neighbor_targets(X)
+        out = np.empty(votes.shape[0])
+        for i, row in enumerate(votes):
+            labels, counts = np.unique(row, return_counts=True)
+            out[i] = labels[np.argmax(counts)]
+        return out
+
+
+class KNeighborsRegressor(_BaseKNN):
+    """Mean of the k nearest neighbours' targets."""
+
+    def predict(self, X) -> np.ndarray:
+        return self._neighbor_targets(X).mean(axis=1)

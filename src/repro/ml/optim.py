@@ -1,0 +1,79 @@
+"""Gradient-based optimizers shared by the neural models and RL agents.
+
+The paper trains its RNN controllers and the RTDL baseline with Adam
+(Section IV-A4, learning rate 0.01).  One implementation serves the MLP,
+the tabular ResNet and the recurrent policy agents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """In-place update of every parameter array."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(i)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity - self.lr * grad
+                self._velocity[i] = velocity
+                param += velocity
+            else:
+                param -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """In-place Adam update of every parameter array."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self._t += 1
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            m = self._m.get(i)
+            v = self._v.get(i)
+            if m is None:
+                m = np.zeros_like(param)
+                v = np.zeros_like(param)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[i], self._v[i] = m, v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,200 @@
+"""Preprocessing transformers (sklearn.preprocessing stand-ins).
+
+These cover the operations the paper's pipeline needs before and during
+feature engineering: min-max scaling (also one of the unary operators),
+standardization, label encoding of targets, mean imputation of the
+NaN/inf values that generated features introduce, and quantile binning
+(used to binarize real-valued features for classic MinHash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "LabelEncoder",
+    "MeanImputer",
+    "QuantileBinner",
+]
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale each column to ``[feature_min, feature_max]`` (default [0,1]).
+
+    Constant columns map to the lower bound rather than dividing by zero.
+    """
+
+    def __init__(self, feature_min: float = 0.0, feature_max: float = 1.0) -> None:
+        if feature_max <= feature_min:
+            raise ValueError("feature_max must exceed feature_min")
+        self.feature_min = feature_min
+        self.feature_max = feature_max
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        matrix = check_matrix(X)
+        self.data_min_ = matrix.min(axis=0)
+        self.data_max_ = matrix.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.data_min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        matrix = check_matrix(X)
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span == 0.0, 1.0, span)
+        unit = (matrix - self.data_min_) / safe_span
+        unit = np.where(span == 0.0, 0.0, unit)
+        width = self.feature_max - self.feature_min
+        return self.feature_min + unit * width
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.data_min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        matrix = check_matrix(X)
+        width = self.feature_max - self.feature_min
+        unit = (matrix - self.feature_min) / width
+        return self.data_min_ + unit * (self.data_max_ - self.data_min_)
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean, unit-variance scaling; constant columns stay at zero."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        matrix = check_matrix(X)
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        self.scale_ = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return (check_matrix(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return check_matrix(X) * self.scale_ + self.mean_
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary label values to contiguous integers 0..K-1."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        values = np.asarray(y).reshape(-1)
+        if values.shape[0] == 0:
+            raise ValueError("cannot fit LabelEncoder on empty labels")
+        self.classes_ = np.unique(values)
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        values = np.asarray(y).reshape(-1)
+        indices = np.searchsorted(self.classes_, values)
+        indices = np.clip(indices, 0, len(self.classes_) - 1)
+        if not np.array_equal(self.classes_[indices], values):
+            unknown = set(np.asarray(values).tolist()) - set(self.classes_.tolist())
+            raise ValueError(f"labels not seen during fit: {sorted(unknown)!r}")
+        return indices.astype(np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, indices) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self.classes_)):
+            raise ValueError("encoded labels out of range")
+        return self.classes_[idx]
+
+
+class MeanImputer(BaseEstimator):
+    """Replace non-finite entries with the column-wise finite mean.
+
+    Columns that contain no finite value at all are filled with 0.
+    """
+
+    def __init__(self) -> None:
+        self.fill_: np.ndarray | None = None
+
+    def fit(self, X) -> "MeanImputer":
+        matrix = check_matrix(X, allow_nonfinite=True)
+        fill = np.zeros(matrix.shape[1])
+        for j in range(matrix.shape[1]):
+            finite = matrix[np.isfinite(matrix[:, j]), j]
+            fill[j] = finite.mean() if finite.size else 0.0
+        self.fill_ = fill
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.fill_ is None:
+            raise RuntimeError("MeanImputer is not fitted")
+        matrix = check_matrix(X, allow_nonfinite=True).copy()
+        mask = ~np.isfinite(matrix)
+        if mask.any():
+            matrix[mask] = np.broadcast_to(self.fill_, matrix.shape)[mask]
+        return matrix
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class QuantileBinner(BaseEstimator):
+    """Discretize each column into ``n_bins`` quantile buckets.
+
+    Classic (unweighted) MinHash operates on sets; quantile binning turns
+    a real-valued feature column into a bag of ``(column, bin)`` tokens so
+    set-based sketches apply.
+    """
+
+    def __init__(self, n_bins: int = 8) -> None:
+        if n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+        self.n_bins = n_bins
+        self.edges_: list[np.ndarray] | None = None
+
+    def fit(self, X) -> "QuantileBinner":
+        matrix = check_matrix(X)
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        self.edges_ = [
+            np.unique(np.quantile(matrix[:, j], quantiles))
+            for j in range(matrix.shape[1])
+        ]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.edges_ is None:
+            raise RuntimeError("QuantileBinner is not fitted")
+        matrix = check_matrix(X)
+        if matrix.shape[1] != len(self.edges_):
+            raise ValueError(
+                f"fitted on {len(self.edges_)} columns, got {matrix.shape[1]}"
+            )
+        out = np.empty_like(matrix, dtype=np.int64)
+        for j, edges in enumerate(self.edges_):
+            out[:, j] = np.searchsorted(edges, matrix[:, j], side="right")
+        return out
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,233 @@
+"""Tabular ResNet (RTDL-style) and the paper's RTDLN baseline.
+
+Gorishniy et al. (NeurIPS 2021, "Revisiting Deep Learning Models for
+Tabular Data") found a ResNet-like architecture — a stack of residual
+dense blocks — to be a strong tabular deep-learning baseline.  The paper
+derives its RTDLN baseline from it: train the ResNet on the raw
+features, then *replace the softmax head with a Random Forest* fit on
+the penultimate representation (Section IV-A3).
+
+Architecture (manual numpy backprop):
+
+    embed:  z = X W_e + b_e
+    block:  z = z + relu(z W_1 + b_1) W_2 + b_2     (x n_blocks)
+    head:   out = relu(z) W_h + b_h
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_matrix, check_X_y
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .mlp import softmax
+from .optim import Adam
+from .preprocessing import StandardScaler
+
+__all__ = ["TabularResNet", "RTDLN"]
+
+
+class TabularResNet(BaseEstimator):
+    """Residual dense network for tabular inputs.
+
+    ``task`` is "C" (classification, softmax + cross-entropy) or "R"
+    (regression, linear head + MSE on a standardized target).
+    """
+
+    def __init__(
+        self,
+        task: str = "C",
+        width: int = 64,
+        n_blocks: int = 2,
+        lr: float = 0.01,
+        n_epochs: int = 40,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if task not in ("C", "R"):
+            raise ValueError("task must be 'C' or 'R'")
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be at least 1")
+        self.task = task
+        self.width = width
+        self.n_blocks = n_blocks
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self._params: list[np.ndarray] = []
+        self._scaler: StandardScaler | None = None
+        self.classes_: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # Parameter layout helpers -------------------------------------------------
+    def _init_params(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        def dense(a: int, b: int) -> tuple[np.ndarray, np.ndarray]:
+            return rng.normal(0.0, np.sqrt(2.0 / a), size=(a, b)), np.zeros(b)
+
+        params: list[np.ndarray] = []
+        params.extend(dense(n_in, self.width))  # embed
+        for _ in range(self.n_blocks):
+            params.extend(dense(self.width, self.width))  # W1, b1
+            params.extend(dense(self.width, self.width))  # W2, b2
+        params.extend(dense(self.width, n_out))  # head
+        self._params = list(params)
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, dict]:
+        p = self._params
+        cache: dict = {"X": X}
+        z = X @ p[0] + p[1]
+        cache["z"] = [z]
+        cache["a"] = []
+        for b in range(self.n_blocks):
+            w1, b1 = p[2 + 4 * b], p[3 + 4 * b]
+            w2, b2 = p[4 + 4 * b], p[5 + 4 * b]
+            hidden = np.maximum(z @ w1 + b1, 0.0)
+            cache["a"].append(hidden)
+            z = z + hidden @ w2 + b2
+            cache["z"].append(z)
+        representation = np.maximum(z, 0.0)
+        cache["repr"] = representation
+        logits = representation @ p[-2] + p[-1]
+        return logits, cache
+
+    def _backward(self, grad_logits: np.ndarray, cache: dict) -> list[np.ndarray]:
+        p = self._params
+        grads = [np.zeros_like(param) for param in p]
+        representation = cache["repr"]
+        grads[-2] = representation.T @ grad_logits + self.l2 * p[-2]
+        grads[-1] = grad_logits.sum(axis=0)
+        grad_z = (grad_logits @ p[-2].T) * (cache["z"][-1] > 0.0)
+        for b in range(self.n_blocks - 1, -1, -1):
+            w1, w2 = p[2 + 4 * b], p[4 + 4 * b]
+            hidden = cache["a"][b]
+            z_in = cache["z"][b]
+            grads[4 + 4 * b] = hidden.T @ grad_z + self.l2 * w2
+            grads[5 + 4 * b] = grad_z.sum(axis=0)
+            grad_hidden = (grad_z @ w2.T) * (hidden > 0.0)
+            grads[2 + 4 * b] = z_in.T @ grad_hidden + self.l2 * w1
+            grads[3 + 4 * b] = grad_hidden.sum(axis=0)
+            grad_z = grad_z + grad_hidden @ w1.T  # residual skip path
+        grads[0] = cache["X"].T @ grad_z + self.l2 * p[0]
+        grads[1] = grad_z.sum(axis=0)
+        return grads
+
+    # Training -------------------------------------------------------------
+    def fit(self, X, y) -> "TabularResNet":
+        matrix, target = check_X_y(X, y)
+        rng = np.random.default_rng(self.seed)
+        self._scaler = StandardScaler().fit(matrix)
+        scaled = self._scaler.transform(matrix)
+        if self.task == "C":
+            self.classes_ = np.unique(target)
+            encoded = np.searchsorted(self.classes_, target)
+            n_out = max(len(self.classes_), 2)
+            labels = np.zeros((len(encoded), n_out))
+            labels[np.arange(len(encoded)), encoded] = 1.0
+        else:
+            self._y_mean = float(target.mean())
+            self._y_std = float(target.std()) or 1.0
+            labels = ((target - self._y_mean) / self._y_std).reshape(-1, 1)
+            n_out = 1
+        self._init_params(scaled.shape[1], n_out, rng)
+        optimizer = Adam(lr=self.lr)
+        n_samples = scaled.shape[0]
+        batch = min(self.batch_size, n_samples)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                rows = order[start : start + batch]
+                logits, cache = self._forward(scaled[rows])
+                if self.task == "C":
+                    grad_logits = (softmax(logits) - labels[rows]) / len(rows)
+                else:
+                    grad_logits = 2.0 * (logits - labels[rows]) / len(rows)
+                grads = self._backward(grad_logits, cache)
+                optimizer.step(self._params, grads)
+        return self
+
+    # Inference ------------------------------------------------------------
+    def _scaled(self, X) -> np.ndarray:
+        if self._scaler is None:
+            raise RuntimeError("TabularResNet is not fitted")
+        matrix = check_matrix(X, allow_nonfinite=True)
+        return self._scaler.transform(np.nan_to_num(matrix))
+
+    def transform(self, X) -> np.ndarray:
+        """Penultimate representation (the features RTDLN feeds to RF)."""
+        _, cache = self._forward(self._scaled(X))
+        return cache["repr"]
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self.task != "C":
+            raise RuntimeError("predict_proba requires task='C'")
+        logits, _ = self._forward(self._scaled(X))
+        return softmax(logits)
+
+    def predict(self, X) -> np.ndarray:
+        logits, _ = self._forward(self._scaled(X))
+        if self.task == "C":
+            indices = np.argmax(logits[:, : len(self.classes_)], axis=1)
+            return self.classes_[indices]
+        return logits[:, 0] * self._y_std + self._y_mean
+
+
+class RTDLN(BaseEstimator):
+    """The paper's RTDLN baseline: ResNet body + Random Forest head.
+
+    Train a :class:`TabularResNet` end-to-end, discard its linear head,
+    and fit a Random Forest on the learned representation.  On small
+    tabular datasets the representation collapses (the behaviour the
+    paper reports as near-0.0 scores); on large ones it is competitive.
+    """
+
+    def __init__(
+        self,
+        task: str = "C",
+        width: int = 64,
+        n_blocks: int = 2,
+        n_epochs: int = 40,
+        forest_estimators: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.task = task
+        self.width = width
+        self.n_blocks = n_blocks
+        self.n_epochs = n_epochs
+        self.forest_estimators = forest_estimators
+        self.seed = seed
+        self._body: TabularResNet | None = None
+        self._head: BaseEstimator | None = None
+
+    def fit(self, X, y) -> "RTDLN":
+        self._body = TabularResNet(
+            task=self.task,
+            width=self.width,
+            n_blocks=self.n_blocks,
+            n_epochs=self.n_epochs,
+            seed=self.seed,
+        ).fit(X, y)
+        representation = self._body.transform(X)
+        if self.task == "C":
+            self._head = RandomForestClassifier(
+                n_estimators=self.forest_estimators, seed=self.seed
+            )
+        else:
+            self._head = RandomForestRegressor(
+                n_estimators=self.forest_estimators, seed=self.seed
+            )
+        self._head.fit(representation, y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._body is None:
+            raise RuntimeError("RTDLN is not fitted")
+        return self._body.transform(X)
+
+    def predict(self, X) -> np.ndarray:
+        if self._body is None or self._head is None:
+            raise RuntimeError("RTDLN is not fitted")
+        return self._head.predict(self._body.transform(X))

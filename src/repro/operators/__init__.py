@@ -1,0 +1,28 @@
+"""Feature transformation operators: the AFE action space."""
+
+from .binary import add, multiply, safe_divide, safe_modulo, subtract
+from .composer import FeatureSubgroup, GeneratedFeature, compose
+from .expression import Expression, expression_depth, parse_expression
+from .registry import Operator, OperatorRegistry, default_registry
+from .unary import min_max_normalize, safe_log, safe_reciprocal, safe_sqrt
+
+__all__ = [
+    "safe_log",
+    "safe_sqrt",
+    "safe_reciprocal",
+    "min_max_normalize",
+    "add",
+    "subtract",
+    "multiply",
+    "safe_divide",
+    "safe_modulo",
+    "Operator",
+    "OperatorRegistry",
+    "default_registry",
+    "GeneratedFeature",
+    "compose",
+    "FeatureSubgroup",
+    "Expression",
+    "parse_expression",
+    "expression_depth",
+]

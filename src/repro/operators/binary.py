@@ -1,0 +1,67 @@
+"""Binary feature-transformation operators (Section II, Action).
+
+The paper's five binary operators: addition, subtraction,
+multiplication, division and modulo.  As with the unary family, every
+operator is total: divisions and modulo by (near-)zero produce 0 rather
+than inf/NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["add", "subtract", "multiply", "safe_divide", "safe_modulo"]
+
+_EPSILON = 1e-12
+
+
+def _finalize(values: np.ndarray) -> np.ndarray:
+    out = np.asarray(values, dtype=np.float64)
+    return np.where(np.isfinite(out), out, 0.0)
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    left = np.asarray(a, dtype=np.float64).reshape(-1)
+    right = np.asarray(b, dtype=np.float64).reshape(-1)
+    if left.shape != right.shape:
+        raise ValueError(
+            f"operand lengths differ: {left.shape[0]} vs {right.shape[0]}"
+        )
+    return left, right
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise sum; overflow maps to 0."""
+    left, right = _pair(a, b)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return _finalize(left + right)
+
+
+def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise difference; overflow maps to 0."""
+    left, right = _pair(a, b)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return _finalize(left - right)
+
+
+def multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise product; overflow maps to 0."""
+    left, right = _pair(a, b)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return _finalize(left * right)
+
+
+def safe_divide(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a / b`` with |b| ~ 0 mapped to 0."""
+    left, right = _pair(a, b)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        out = np.where(np.abs(right) > _EPSILON, left / right, 0.0)
+    return _finalize(out)
+
+
+def safe_modulo(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a mod b`` with |b| ~ 0 mapped to 0 (numpy sign convention)."""
+    left, right = _pair(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(np.abs(right) > _EPSILON, np.mod(left, right), 0.0)
+    return _finalize(out)

@@ -1,0 +1,116 @@
+"""High-order feature composition and provenance tracking.
+
+A generated feature is an expression tree over original features, e.g.
+``div(add(f1,f2),log(f3))``.  The paper caps expression depth with the
+"Maximum Order" hyperparameter (default 5; swept in Figure 8(3)).  The
+composer tracks order so engines can enforce that cap, and renders
+canonical names so duplicate expressions can be de-duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .registry import Operator
+
+__all__ = ["GeneratedFeature", "compose", "FeatureSubgroup"]
+
+
+@dataclass
+class GeneratedFeature:
+    """A feature column plus its provenance.
+
+    ``order`` follows the paper's definition: original features have
+    order 1, and applying an operator yields
+    ``1 + max(order of operands)``.
+    """
+
+    name: str
+    values: np.ndarray
+    order: int = 1
+    origin: str | None = None  # name of the original (root) feature
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64).reshape(-1)
+        if self.order < 1:
+            raise ValueError("feature order must be >= 1")
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[0]
+
+    def is_degenerate(self) -> bool:
+        """Constant or non-finite columns carry no usable signal."""
+        if not np.isfinite(self.values).all():
+            return True
+        return bool(np.ptp(self.values) < 1e-12) if self.values.size else True
+
+
+def compose(
+    operator: Operator,
+    a: GeneratedFeature,
+    b: GeneratedFeature | None = None,
+) -> GeneratedFeature:
+    """Apply ``operator`` to one or two features, tracking provenance."""
+    if operator.arity == 2:
+        if b is None:
+            raise ValueError(f"operator {operator.name!r} needs two operands")
+        if a.n_samples != b.n_samples:
+            raise ValueError("operand sample counts differ")
+        values = operator.apply(a.values, b.values)
+        order = 1 + max(a.order, b.order)
+        name = operator.describe(a.name, b.name)
+    else:
+        values = operator.apply(a.values)
+        order = 1 + a.order
+        name = operator.describe(a.name)
+    return GeneratedFeature(
+        name=name, values=values, order=order, origin=a.origin or a.name
+    )
+
+
+@dataclass
+class FeatureSubgroup:
+    """One agent's working set: an original feature and its descendants.
+
+    Mirrors the paper's state decomposition (Section II, Agents): agent
+    ``j`` owns the subgroup rooted at original feature ``j``, samples
+    operand pairs from it with replacement, and appends every accepted
+    generated feature back into it (Figure 3's transition).
+    """
+
+    root: GeneratedFeature
+    members: list[GeneratedFeature] = field(default_factory=list)
+    max_members: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            self.members = [self.root]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def names(self) -> set[str]:
+        return {feature.name for feature in self.members}
+
+    def sample_operands(
+        self, rng: np.random.Generator, arity: int
+    ) -> tuple[GeneratedFeature, GeneratedFeature | None]:
+        """Sample operands with replacement (Figure 3)."""
+        first = self.members[int(rng.integers(0, len(self.members)))]
+        if arity == 1:
+            return first, None
+        second = self.members[int(rng.integers(0, len(self.members)))]
+        return first, second
+
+    def add(self, feature: GeneratedFeature) -> bool:
+        """Append a qualified feature; reject duplicates and overflow."""
+        if feature.name in self.names:
+            return False
+        if len(self.members) >= self.max_members:
+            return False
+        self.members.append(feature)
+        return True

@@ -1,0 +1,142 @@
+"""Parsing and evaluating canonical feature expressions.
+
+Engineered features carry canonical names like
+``div(add(f1,f2),log(f3))``.  Training materializes their values on the
+training rows, but a deployed model needs the same features computed on
+*new* rows.  This module turns a canonical name back into an expression
+tree that can be evaluated against any Frame with the original columns.
+
+Grammar (exactly what :meth:`Operator.describe` emits):
+
+    expr    := column | op '(' expr ')' | op '(' expr ',' expr ')'
+    column  := any name without '(' ')' or a top-level ','
+
+Stateless-by-design caveat: ``minmax`` normalizes with the statistics
+of the data it is evaluated on (matching the engine's per-application
+semantics).  For strict train-time statistics, materialize features at
+train time and persist them instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frame.frame import Frame
+from .registry import Operator, OperatorRegistry, default_registry
+
+__all__ = ["Expression", "parse_expression", "expression_depth"]
+
+
+@dataclass(frozen=True)
+class Expression:
+    """A node of the expression tree.
+
+    Leaf nodes have ``operator is None`` and carry the column name;
+    internal nodes carry the operator and one or two children.
+    """
+
+    name: str
+    operator: Operator | None = None
+    operands: tuple["Expression", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.operator is None
+
+    def columns(self) -> set[str]:
+        """All raw column names the expression depends on."""
+        if self.is_leaf:
+            return {self.name}
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+    def depth(self) -> int:
+        """Expression order: leaves are 1, each operator adds 1."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(operand.depth() for operand in self.operands)
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        """Compute the feature's values against ``frame``'s columns."""
+        if self.is_leaf:
+            if self.name not in frame:
+                raise KeyError(
+                    f"expression needs column {self.name!r}, "
+                    f"frame has {frame.columns}"
+                )
+            return np.asarray(frame[self.name], dtype=np.float64)
+        values = [operand.evaluate(frame) for operand in self.operands]
+        if self.operator.arity == 1:
+            return self.operator.apply(values[0])
+        return self.operator.apply(values[0], values[1])
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return self.name
+        inner = ",".join(str(operand) for operand in self.operands)
+        return f"{self.operator.name}({inner})"
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas at parenthesis depth zero."""
+    parts, depth, start = [], 0, 0
+    for i, character in enumerate(text):
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+        elif character == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def parse_expression(
+    name: str, registry: OperatorRegistry | None = None
+) -> Expression:
+    """Parse a canonical feature name into an :class:`Expression`.
+
+    Unknown operator names are treated as plain column names only when
+    the text has no parentheses; ``foo(bar)`` with unregistered ``foo``
+    is an error (it is almost certainly a misspelled operator).
+    """
+    registry = registry or default_registry()
+    text = name.strip()
+    if not text:
+        raise ValueError("empty expression")
+    open_at = text.find("(")
+    if open_at == -1:
+        if ")" in text or "," in text:
+            raise ValueError(f"malformed expression {name!r}")
+        return Expression(name=text)
+    if not text.endswith(")"):
+        raise ValueError(f"malformed expression {name!r}")
+    op_name = text[:open_at]
+    if op_name not in registry:
+        raise ValueError(
+            f"unknown operator {op_name!r} in expression {name!r}"
+        )
+    operator = registry.by_name(op_name)
+    inner = text[open_at + 1 : -1]
+    parts = _split_top_level(inner)
+    if len(parts) != operator.arity:
+        raise ValueError(
+            f"operator {op_name!r} takes {operator.arity} operand(s), "
+            f"expression {name!r} has {len(parts)}"
+        )
+    operands = tuple(parse_expression(part, registry) for part in parts)
+    return Expression(name=text, operator=operator, operands=operands)
+
+
+def expression_depth(name: str, registry: OperatorRegistry | None = None) -> int:
+    """Order of a canonical feature name (1 for raw columns)."""
+    return parse_expression(name, registry).depth()

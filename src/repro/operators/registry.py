@@ -1,0 +1,117 @@
+"""Operator registry: the discrete action space of the RL agents.
+
+The paper's action is ``OPERATOR(feature1, feature2)`` where unary
+operators take the same feature twice (Section II, Action).  The
+registry indexes the nine paper operators 0..8 so agents can emit an
+integer action, and allows user extension with custom operators (the
+public-API escape hatch a downstream user of the library would expect).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import binary, unary
+
+__all__ = ["Operator", "OperatorRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One feature transformation.
+
+    ``arity`` is 1 or 2; unary operators receive a single column, binary
+    operators two columns of equal length.
+    """
+
+    name: str
+    arity: int
+    fn: Callable[..., np.ndarray]
+
+    def __post_init__(self) -> None:
+        if self.arity not in (1, 2):
+            raise ValueError(f"operator arity must be 1 or 2, got {self.arity}")
+
+    def apply(self, a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+        """Apply to operand columns; unary ignores ``b``."""
+        if self.arity == 1:
+            return self.fn(a)
+        if b is None:
+            raise ValueError(f"binary operator {self.name!r} needs two operands")
+        return self.fn(a, b)
+
+    def describe(self, name_a: str, name_b: str | None = None) -> str:
+        """Canonical generated-feature name, e.g. ``mul(f1,f2)``."""
+        if self.arity == 1:
+            return f"{self.name}({name_a})"
+        return f"{self.name}({name_a},{name_b})"
+
+
+class OperatorRegistry:
+    """Ordered collection of operators; order defines action indices."""
+
+    def __init__(self, operators: list[Operator] | None = None) -> None:
+        self._operators: list[Operator] = []
+        self._by_name: dict[str, Operator] = {}
+        for operator in operators or []:
+            self.register(operator)
+
+    def register(self, operator: Operator) -> None:
+        if operator.name in self._by_name:
+            raise ValueError(f"operator {operator.name!r} already registered")
+        self._operators.append(operator)
+        self._by_name[operator.name] = operator
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __iter__(self):
+        return iter(self._operators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def by_index(self, index: int) -> Operator:
+        if not 0 <= index < len(self._operators):
+            raise IndexError(
+                f"action index {index} out of range for {len(self._operators)} operators"
+            )
+        return self._operators[index]
+
+    def by_name(self, name: str) -> Operator:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no operator named {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return [operator.name for operator in self._operators]
+
+    @property
+    def unary_indices(self) -> list[int]:
+        return [i for i, op in enumerate(self._operators) if op.arity == 1]
+
+    @property
+    def binary_indices(self) -> list[int]:
+        return [i for i, op in enumerate(self._operators) if op.arity == 2]
+
+
+def default_registry() -> OperatorRegistry:
+    """The paper's nine operators (4 unary + 5 binary), in fixed order."""
+    return OperatorRegistry(
+        [
+            Operator("log", 1, unary.safe_log),
+            Operator("minmax", 1, unary.min_max_normalize),
+            Operator("sqrt", 1, unary.safe_sqrt),
+            Operator("recip", 1, unary.safe_reciprocal),
+            Operator("add", 2, binary.add),
+            Operator("sub", 2, binary.subtract),
+            Operator("mul", 2, binary.multiply),
+            Operator("div", 2, binary.safe_divide),
+            Operator("mod", 2, binary.safe_modulo),
+        ]
+    )

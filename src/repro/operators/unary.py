@@ -1,0 +1,71 @@
+"""Unary feature-transformation operators (Section II, Action).
+
+The paper uses four unary operators: logarithm, min-max normalization,
+square root, and reciprocal.  Every operator here is *safe*: feature
+columns may contain any finite values, and the output is always finite
+(invalid inputs map to 0).  Silent NaN/inf propagation would crash the
+downstream Random Forest thousands of evaluations later, so safety is
+enforced at the source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "safe_log",
+    "safe_sqrt",
+    "safe_reciprocal",
+    "min_max_normalize",
+]
+
+_EPSILON = 1e-12
+
+
+def _finalize(values: np.ndarray) -> np.ndarray:
+    """Map any non-finite results to 0 so outputs are always usable."""
+    out = np.asarray(values, dtype=np.float64)
+    return np.where(np.isfinite(out), out, 0.0)
+
+
+def safe_log(column: np.ndarray) -> np.ndarray:
+    """``log(|x|)``, with log(0) mapped to 0.
+
+    Taking the magnitude first follows the usual AFE convention (e.g.
+    NFS): generated intermediate features are routinely negative and the
+    transformation must stay total.
+    """
+    values = np.asarray(column, dtype=np.float64)
+    magnitude = np.abs(values)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(magnitude > _EPSILON, np.log(magnitude), 0.0)
+    return _finalize(out)
+
+
+def safe_sqrt(column: np.ndarray) -> np.ndarray:
+    """``sqrt(|x|)`` — total on negatives via magnitude."""
+    values = np.asarray(column, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        out = np.sqrt(np.abs(values))
+    return _finalize(out)
+
+
+def safe_reciprocal(column: np.ndarray) -> np.ndarray:
+    """``1 / x`` with near-zero inputs mapped to 0."""
+    values = np.asarray(column, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        out = np.where(np.abs(values) > _EPSILON, 1.0 / values, 0.0)
+    return _finalize(out)
+
+
+def min_max_normalize(column: np.ndarray) -> np.ndarray:
+    """Scale to [0, 1]; constant columns map to 0."""
+    values = np.asarray(column, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.zeros_like(values)
+    low, high = finite.min(), finite.max()
+    if high - low < _EPSILON:
+        return np.zeros_like(values)
+    out = (values - low) / (high - low)
+    return _finalize(out)

@@ -1,0 +1,27 @@
+"""RL substrate: agents, environment, returns, replay, REINFORCE."""
+
+from .agent import RecurrentPolicyAgent
+from .buffer import ReplayBuffer, Transition
+from .environment import FeatureSpace
+from .policy import MultiAgentController, TrajectoryStep
+from .returns import (
+    accumulated_returns,
+    discounted_returns,
+    forward_lambda_returns,
+    lambda_return,
+    score_gains,
+)
+
+__all__ = [
+    "RecurrentPolicyAgent",
+    "ReplayBuffer",
+    "Transition",
+    "FeatureSpace",
+    "MultiAgentController",
+    "TrajectoryStep",
+    "score_gains",
+    "accumulated_returns",
+    "discounted_returns",
+    "lambda_return",
+    "forward_lambda_returns",
+]

@@ -1,0 +1,92 @@
+"""Replay buffer of promising transformations (Algorithm 2, stage 1).
+
+During quick initialization the FPE model cheaply labels generated
+features; positives are stored here as ``Transition`` records so that
+stage 2 can start from known-good actions instead of exploring from
+scratch — the mechanism behind the paper's "avoid training the policy
+from scratch" claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..operators.composer import GeneratedFeature
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One accepted feature-generation step."""
+
+    agent_index: int
+    action_index: int
+    feature: GeneratedFeature
+    reward: float
+    metadata: dict = field(default_factory=dict, compare=False)
+
+
+class ReplayBuffer:
+    """Bounded FIFO store with reward-weighted sampling."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: deque[Transition] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def push(self, transition: Transition) -> None:
+        """Append; the oldest entry falls off once capacity is reached."""
+        self._items.append(transition)
+
+    def sample(
+        self, n: int, rng: np.random.Generator, weighted: bool = True
+    ) -> list[Transition]:
+        """Draw ``n`` transitions with replacement.
+
+        When ``weighted``, sampling probability is proportional to
+        ``max(reward, 0) + eps`` so high-reward transformations replay
+        more often.
+        """
+        if self.is_empty:
+            raise ValueError("cannot sample from an empty buffer")
+        if n < 1:
+            raise ValueError("sample size must be positive")
+        items = list(self._items)
+        if weighted:
+            weights = np.array([max(t.reward, 0.0) + 1e-6 for t in items])
+            probabilities = weights / weights.sum()
+        else:
+            probabilities = None
+        indices = rng.choice(len(items), size=n, replace=True, p=probabilities)
+        return [items[i] for i in indices]
+
+    def best(self, n: int) -> list[Transition]:
+        """The ``n`` highest-reward transitions, descending."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return sorted(self._items, key=lambda t: t.reward, reverse=True)[:n]
+
+    def per_agent_counts(self) -> dict[int, int]:
+        """How many stored transitions each agent produced."""
+        counts: dict[int, int] = {}
+        for transition in self._items:
+            counts[transition.agent_index] = counts.get(transition.agent_index, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._items.clear()

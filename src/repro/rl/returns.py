@@ -1,0 +1,129 @@
+"""Return computations: k-step returns and the λ-return (Eqs. 9–10).
+
+The paper combines per-step reward gains ``r_t = A_t - A_{t-1}`` into
+
+    U_t       = sum_{k=0}^{t} gamma^(t-k) r_k            (Eq. 9 / 10)
+    U^lambda  = (1 - lambda) * sum_k lambda^(k-1) U_k    (Eq. 10)
+
+``U_t`` as written is the *accumulated* discounted gain up to step t
+(recent rewards weighted most).  We implement that literally, plus the
+standard forward-looking discounted return used by the REINFORCE
+credit assignment, since both appear in the training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "score_gains",
+    "accumulated_returns",
+    "discounted_returns",
+    "lambda_return",
+    "forward_lambda_returns",
+]
+
+
+def _validate_rewards(rewards) -> np.ndarray:
+    values = np.asarray(rewards, dtype=np.float64).reshape(-1)
+    if values.shape[0] == 0:
+        raise ValueError("empty reward sequence")
+    if not np.isfinite(values).all():
+        raise ValueError("rewards must be finite")
+    return values
+
+
+def _validate_gamma(gamma: float) -> None:
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+
+
+def score_gains(scores) -> np.ndarray:
+    """Per-step reward r_t = A_t - A_{t-1} from a score trajectory.
+
+    ``scores[0]`` is the baseline (original feature set); the returned
+    array has one entry per transition.
+    """
+    values = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if values.shape[0] < 2:
+        raise ValueError("need at least two scores to compute gains")
+    if not np.isfinite(values).all():
+        raise ValueError("scores must be finite")
+    return np.diff(values)
+
+
+def accumulated_returns(rewards, gamma: float) -> np.ndarray:
+    """Eq. 9's literal form: U_t = sum_{k<=t} gamma^(t-k) r_k.
+
+    Computed by the forward recursion ``U_t = gamma * U_{t-1} + r_t``.
+    """
+    values = _validate_rewards(rewards)
+    _validate_gamma(gamma)
+    returns = np.empty_like(values)
+    running = 0.0
+    for t, reward in enumerate(values):
+        running = gamma * running + reward
+        returns[t] = running
+    return returns
+
+
+def discounted_returns(rewards, gamma: float) -> np.ndarray:
+    """Forward-looking return G_t = r_t + gamma * G_{t+1} (REINFORCE)."""
+    values = _validate_rewards(rewards)
+    _validate_gamma(gamma)
+    returns = np.empty_like(values)
+    running = 0.0
+    for t in range(len(values) - 1, -1, -1):
+        running = values[t] + gamma * running
+        returns[t] = running
+    return returns
+
+
+def forward_lambda_returns(rewards, gamma: float, lam: float) -> np.ndarray:
+    """Per-step forward-view λ-returns (the U^λ_t of Eqs. 10–12).
+
+    Without a learned value function, the n-step return from t is the
+    truncated discounted sum ``G_t^(n) = sum_{i<n} gamma^i r_{t+i}``
+    and the λ-return mixes them:
+
+        U^λ_t = (1 - λ) * sum_{n>=1} λ^(n-1) G_t^(n)  +  λ^(T-t-1) G_t^(T-t)
+
+    (the final term absorbs the residual weight onto the full return,
+    the standard episodic forward view).  Computed with the equivalent
+    backward recursion ``U^λ_t = r_t + γ ((1-λ) r_{t+1} ... )``:
+
+        U^λ_t = r_t + γ λ U^λ_{t+1} + γ (1 - λ) V_{t+1}
+
+    with V = 0-bootstrap replaced by the next reward-to-go when λ < 1.
+    With λ -> 1 this reduces to the plain discounted return; with
+    λ = 0 it reduces to the one-step reward.
+    """
+    values = _validate_rewards(rewards)
+    _validate_gamma(gamma)
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must be in [0, 1]")
+    n = len(values)
+    out = np.empty(n)
+    # Backward recursion with zero bootstrap at episode end:
+    # U_t = r_t + gamma * (lam * U_{t+1} + (1 - lam) * 0)
+    running = 0.0
+    for t in range(n - 1, -1, -1):
+        running = values[t] + gamma * lam * running
+        out[t] = running
+    return out
+
+
+def lambda_return(rewards, gamma: float, lam: float) -> float:
+    """Eq. 10: U^lambda = (1 - lambda) * sum_k lambda^(k-1) U_k.
+
+    Mixes the k-step accumulated returns with geometrically decaying
+    weights; ``lam = 0`` reduces to the first one-step return, and
+    ``lam -> 1`` approaches the plain average-free final return.
+    """
+    values = _validate_rewards(rewards)
+    _validate_gamma(gamma)
+    if not 0.0 <= lam < 1.0:
+        raise ValueError("lambda must be in [0, 1)")
+    returns = accumulated_returns(values, gamma)
+    weights = (1.0 - lam) * lam ** np.arange(len(returns))
+    return float(np.sum(weights * returns))

@@ -1,0 +1,118 @@
+"""Integration tests for every baseline method."""
+
+import pytest
+
+from repro.baselines import NFS, AutoFSR, DlThenFe, FeThenDl, RandomAFE, RTDLNBaseline
+from repro.core import EngineConfig
+from repro.datasets import make_classification, make_regression
+
+
+def _config(**overrides):
+    params = {
+        "n_epochs": 2,
+        "stage1_epochs": 1,
+        "transforms_per_agent": 2,
+        "n_splits": 3,
+        "n_estimators": 3,
+        "max_agents": 4,
+        "seed": 0,
+    }
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+CLS_TASK = make_classification(n_samples=90, n_features=4, seed=0)
+REG_TASK = make_regression(n_samples=90, n_features=4, seed=0)
+
+
+class TestNFS:
+    def test_single_stage_keep_all(self):
+        engine = NFS(_config())
+        assert engine.config.two_stage is False
+        assert engine.config.per_step_rewards is False
+
+    def test_runs_classification(self):
+        result = NFS(_config()).fit(CLS_TASK)
+        assert result.method == "NFS"
+        assert result.best_score >= result.base_score
+        assert result.n_filtered_out == 0  # keep-all: nothing filtered
+
+    def test_evaluates_every_generated_feature(self):
+        result = NFS(_config()).fit(CLS_TASK)
+        # base eval + one per generated candidate
+        assert result.n_downstream_evaluations == result.n_generated + 1
+
+    def test_runs_regression(self):
+        result = NFS(_config()).fit(REG_TASK)
+        assert result.task == "R"
+
+
+class TestAutoFSR:
+    def test_runs_and_counts(self):
+        result = AutoFSR(_config()).fit(CLS_TASK)
+        assert result.method == "AutoFSR"
+        assert result.n_downstream_evaluations == result.n_generated + 1
+        assert result.best_score >= result.base_score
+
+    def test_history_recorded(self):
+        result = AutoFSR(_config(n_epochs=3)).fit(CLS_TASK)
+        assert len(result.history) == 3
+
+    def test_deterministic(self):
+        a = AutoFSR(_config()).fit(CLS_TASK)
+        b = AutoFSR(_config()).fit(CLS_TASK)
+        assert a.best_score == b.best_score
+
+    def test_regression(self):
+        result = AutoFSR(_config()).fit(REG_TASK)
+        assert result.best_score >= result.base_score
+
+
+class TestRTDLN:
+    def test_returns_single_shot_result(self):
+        result = RTDLNBaseline(_config()).fit(CLS_TASK)
+        assert result.method == "RTDLN"
+        assert result.n_downstream_evaluations == 1
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_regression(self):
+        result = RTDLNBaseline(_config()).fit(REG_TASK)
+        assert result.best_score <= 1.0
+
+    def test_tiny_dataset_degrades_gracefully(self):
+        tiny = make_classification(n_samples=20, n_features=3, seed=1)
+        result = RTDLNBaseline(_config()).fit(tiny)
+        assert result.best_score >= 0.0  # may be 0, must not crash
+
+
+class TestHybrids:
+    def test_fe_then_dl(self):
+        result = FeThenDl(_config()).fit(CLS_TASK)
+        assert result.method == "FE|DL"
+        assert 0.0 <= result.best_score <= 1.0
+        assert result.n_downstream_evaluations >= 1
+
+    def test_dl_then_fe(self):
+        result = DlThenFe(_config()).fit(CLS_TASK)
+        assert result.method == "DL|FE"
+        assert 0.0 <= result.best_score <= 1.0
+        assert result.selected_features  # picked at least one repr column
+
+    def test_dl_then_fe_regression(self):
+        result = DlThenFe(_config()).fit(REG_TASK)
+        assert result.best_score <= 1.0
+
+
+class TestRandomAFE:
+    def test_runs(self):
+        result = RandomAFE(_config()).fit(CLS_TASK)
+        assert result.method == "RandomAFE"
+        assert result.best_score >= result.base_score
+
+    def test_single_stage_forced(self):
+        assert RandomAFE(_config(two_stage=True)).config.two_stage is False
+
+    def test_deterministic(self):
+        a = RandomAFE(_config()).fit(CLS_TASK)
+        b = RandomAFE(_config()).fit(CLS_TASK)
+        assert a.best_score == b.best_score

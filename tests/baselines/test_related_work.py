@@ -1,0 +1,155 @@
+"""Tests for the related-work baselines: TransGraph, LFE, ExploreKit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LFE, ExploreKit, TransformationGraph
+from repro.core import EngineConfig
+from repro.datasets import make_classification, make_regression
+
+
+def _config(**overrides):
+    params = {
+        "n_epochs": 2,
+        "transforms_per_agent": 3,
+        "n_splits": 3,
+        "n_estimators": 3,
+        "max_agents": 4,
+        "seed": 0,
+    }
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+CLS_TASK = make_classification(n_samples=90, n_features=4, seed=0)
+REG_TASK = make_regression(n_samples=90, n_features=4, seed=0)
+CORPUS = [make_classification(n_samples=60, n_features=3, seed=s) for s in (1, 2)]
+
+
+class TestTransformationGraph:
+    def test_runs_and_improves_or_holds(self):
+        result = TransformationGraph(_config()).fit(CLS_TASK)
+        assert result.method == "TransGraph"
+        assert result.best_score >= result.base_score
+
+    def test_builds_a_dag(self):
+        engine = TransformationGraph(_config(), max_nodes=8)
+        engine.fit(CLS_TASK)
+        graph = engine.graph_
+        assert graph.number_of_nodes() >= 2
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_respects_node_budget(self):
+        engine = TransformationGraph(_config(n_epochs=10), max_nodes=5)
+        engine.fit(CLS_TASK)
+        assert engine.graph_.number_of_nodes() <= 5
+
+    def test_q_values_updated(self):
+        engine = TransformationGraph(_config())
+        engine.fit(CLS_TASK)
+        assert len(engine.q_values_) > 0
+
+    def test_selected_matrix_cached(self):
+        result = TransformationGraph(_config()).fit(CLS_TASK)
+        assert result.selected_matrix is not None
+        assert result.selected_matrix.shape[0] == CLS_TASK.n_samples
+
+    def test_regression(self):
+        result = TransformationGraph(_config()).fit(REG_TASK)
+        assert result.task == "R"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TransformationGraph(max_nodes=1)
+        with pytest.raises(ValueError):
+            TransformationGraph(epsilon=2.0)
+        with pytest.raises(ValueError):
+            TransformationGraph(alpha=0.0)
+
+    def test_deterministic(self):
+        a = TransformationGraph(_config()).fit(CLS_TASK)
+        b = TransformationGraph(_config()).fit(CLS_TASK)
+        assert a.best_score == b.best_score
+
+
+class TestLFE:
+    @pytest.fixture(scope="class")
+    def pretrained(self):
+        return LFE(_config()).pretrain(CORPUS)
+
+    def test_fit_requires_pretrain(self):
+        with pytest.raises(RuntimeError, match="pretrain"):
+            LFE(_config()).fit(CLS_TASK)
+
+    def test_recommend_requires_pretrain(self):
+        with pytest.raises(RuntimeError):
+            LFE(_config()).recommend(np.arange(10.0))
+
+    def test_pretrain_builds_predictors(self, pretrained):
+        assert pretrained.is_pretrained
+        # Predictors exist only for unary operators.
+        assert set(pretrained._predictors) <= {"log", "minmax", "sqrt", "recip"}
+
+    def test_recommend_returns_operator_names(self, pretrained):
+        recommended = pretrained.recommend(
+            np.random.default_rng(0).lognormal(size=60)
+        )
+        assert isinstance(recommended, list)
+        assert all(name in pretrained._predictors for name in recommended)
+
+    def test_online_fit_is_cheap(self, pretrained):
+        result = pretrained.fit(CLS_TASK)
+        # LFE's whole point: at most 2 downstream evaluations online
+        # (base + one augmented evaluation).
+        assert result.n_downstream_evaluations <= 2
+        assert result.best_score >= result.base_score
+
+    def test_result_well_formed(self, pretrained):
+        result = pretrained.fit(CLS_TASK)
+        assert result.method == "LFE"
+        assert result.selected_matrix is not None
+
+
+class TestExploreKit:
+    def test_generates_full_candidate_space(self):
+        engine = ExploreKit(_config(), evaluation_budget=5)
+        working = CLS_TASK
+        candidates = engine._generate_all(working)
+        # 4 unary x 4 columns + 5 binary x C(4,2)=6 pairs, minus any
+        # degenerate results.
+        assert len(candidates) > 20
+
+    def test_runs_within_budget(self):
+        engine = ExploreKit(_config(), evaluation_budget=4)
+        result = engine.fit(CLS_TASK)
+        # base + at most budget evaluations.
+        assert result.n_downstream_evaluations <= 5
+        assert result.best_score >= result.base_score
+
+    def test_candidate_explosion_recorded(self):
+        result = ExploreKit(_config(), evaluation_budget=3).fit(CLS_TASK)
+        # Generate-all produces far more candidates than it can evaluate
+        # — the inefficiency the paper's approach avoids.
+        assert result.n_generated > result.n_downstream_evaluations
+
+    def test_pretrained_ranker_used(self):
+        engine = ExploreKit(_config(), evaluation_budget=3).pretrain(CORPUS)
+        if engine._ranker is not None:
+            score = engine._rank_score(np.random.default_rng(0).normal(size=60))
+            assert 0.0 <= score <= 1.0
+
+    def test_unranked_falls_back_to_variance(self):
+        engine = ExploreKit(_config())
+        high = engine._rank_score(np.random.default_rng(0).normal(0, 10, 50))
+        low = engine._rank_score(np.random.default_rng(0).normal(0, 0.1, 50))
+        assert high > low
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ExploreKit(evaluation_budget=0)
+
+    def test_regression(self):
+        result = ExploreKit(_config(), evaluation_budget=3).fit(REG_TASK)
+        assert result.task == "R"

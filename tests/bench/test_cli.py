@@ -1,0 +1,36 @@
+"""Unit tests for the python -m repro.bench CLI."""
+
+import pytest
+
+from repro.bench.__main__ import _EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(_EXPERIMENTS)
+
+    def test_every_paper_artifact_is_covered(self):
+        # One CLI entry per evaluation-section table and figure, plus
+        # the Q6 signature ablation.
+        assert set(_EXPERIMENTS) == {
+            "table1", "table3", "table4", "table5", "table6",
+            "figure1", "figure6", "figure7", "figure8", "figure9",
+            "ablation_q6", "related_work",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_figure6_runs_end_to_end(self, capsys):
+        # figure6 is the cheapest experiment with no FPE dependency.
+        assert main(["figure6"]) == 0
+        out = capsys.readouterr().out
+        assert "thre" in out
+
+    def test_table1_with_dataset_override(self, capsys):
+        assert main(["table1", "--datasets", "labor"]) == 0
+        out = capsys.readouterr().out
+        assert "labor" in out

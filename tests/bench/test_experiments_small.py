@@ -1,0 +1,136 @@
+"""Small-scale unit tests of the experiment functions.
+
+The benchmarks exercise these at bench scale; here each experiment runs
+with minimal arguments so its data contract is covered by the regular
+test suite too (structure, keys, value ranges — not performance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+from repro.core import FPEModel, make_evaluator_factory
+from repro.datasets import make_classification
+
+
+@pytest.fixture(scope="module")
+def fpe():
+    corpus = [make_classification(n_samples=50, n_features=4, seed=s) for s in (0, 1)]
+    model = FPEModel(d=8, seed=0)
+    model.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+    return model
+
+
+class TestTable1:
+    def test_row_contract(self):
+        rows = experiments.table1_nfs_time(datasets=("labor",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "labor"
+        assert row["generation_time_s"] >= 0.0
+        assert row["evaluation_time_s"] > 0.0
+        assert row["total_time_s"] >= row["evaluation_time_s"]
+        assert 0.0 <= row["eval_fraction"] <= 1.0
+        assert "labor" in experiments.format_table1(rows)
+
+
+class TestFigure1:
+    def test_series_contract(self):
+        series = experiments.figure1_sample_size(
+            datasets=("labor",), fractions=(0.5, 1.0), n_repeats=1
+        )
+        points = series["labor"]
+        assert [p["fraction"] for p in points] == [0.5, 1.0]
+        for point in points:
+            assert point["time_mean"] > 0.0
+        assert "labor" in experiments.format_figure1(series)
+
+
+class TestFigure6:
+    def test_contract(self):
+        data = experiments.figure6_threshold(n_datasets=2, scale=0.25)
+        assert data["n_features"] == len(data["gains"])
+        assert 0.0 <= data["positive_rate"] <= 1.0
+        assert "thre" in experiments.format_figure6(data)
+
+
+class TestTable4:
+    def test_contract(self, fpe):
+        rows = experiments.table4_eval_counts(datasets=("labor",), fpe=fpe)
+        row = rows[0]
+        for method in ("AutoFSR", "NFS", "E-AFE_D", "E-AFE"):
+            assert row[method] >= 0
+        assert "TOTAL" in experiments.format_table4(rows)
+
+
+class TestFigure7:
+    def test_contract(self, fpe):
+        data = experiments.figure7_learning_curves(
+            dataset="labor", methods=("NFS", "E-AFE"), n_epochs=1, fpe=fpe
+        )
+        assert set(data["curves"]) == {"NFS", "E-AFE"}
+        assert set(data["evaluations"]) == {"NFS", "E-AFE"}
+        assert "evaluations:" in experiments.format_figure7(data)
+
+
+class TestTable3AndTable6:
+    def test_contract(self, fpe):
+        table = experiments.table3_main(
+            datasets=("labor",), methods=("NFS", "E-AFE"), fpe=fpe
+        )
+        assert set(table["labor"]) == {"NFS", "E-AFE"}
+        rendered = experiments.format_table3(table)
+        assert "MEAN" in rendered
+
+    def test_table6_from_table(self, fpe):
+        table = experiments.table3_main(
+            datasets=("labor", "fertility"),
+            methods=("NFS", "AutoFSR", "E-AFE"),
+            fpe=fpe,
+        )
+        pvalues = experiments.table6_pvalues(table=table)
+        assert set(pvalues) == {"NFS", "AutoFSR"}
+        for values in pvalues.values():
+            assert 0.0 <= values["performance"] <= 1.0
+            assert 0.0 <= values["time"] <= 1.0
+        assert "p(performance)" in experiments.format_table6(pvalues)
+
+
+class TestTable5:
+    def test_contract(self, fpe):
+        table = experiments.table5_downstream_swap(
+            datasets=("labor",),
+            methods=("E-AFE",),
+            model_kinds=("nb_gp",),
+            fpe=fpe,
+        )
+        assert np.isfinite(table["labor"]["E-AFE"]["nb_gp"])
+        assert "E-AFE:nb_gp" in experiments.format_table5(table)
+
+
+class TestFigure9:
+    def test_contract(self, fpe):
+        sweeps = experiments.figure9_scalability(
+            feature_counts=(4,), sample_counts=(80,), fpe=fpe
+        )
+        assert len(sweeps["features"]) == 1
+        assert sweeps["features"][0]["eval_ratio"] > 0
+        assert "EvalRatio" in experiments.format_figure9(sweeps)
+
+
+class TestAblationQ6:
+    def test_contract(self):
+        rows = experiments.ablation_q6_signatures(
+            backends=("ccws", "meta"), n_train=2, n_validation=1, scale=0.25
+        )
+        assert {r["backend"] for r in rows} == {"ccws", "meta"}
+        assert "Backend" in experiments.format_ablation_q6(rows)
+
+
+class TestRelatedWork:
+    def test_contract(self, fpe):
+        table = experiments.related_work_spectrum(
+            datasets=("labor",), methods=("NFS", "E-AFE"), fpe=fpe
+        )
+        assert set(table["labor"]) == {"NFS", "E-AFE"}
+        assert "BestScore" in experiments.format_related_work(table)

@@ -1,0 +1,117 @@
+"""Unit tests for significance stats (Table VI) and curve helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    curve_points,
+    improvement_pvalues,
+    paired_pvalue,
+    speedup_at_score,
+    time_to_reach,
+)
+from repro.core.engine import AFEResult, EpochRecord
+
+
+def _result(scores, times=None, wall=10.0):
+    history = [
+        EpochRecord(epoch=i, elapsed=(times or list(range(1, len(scores) + 1)))[i],
+                    n_evaluations=i + 1, best_score=s)
+        for i, s in enumerate(scores)
+    ]
+    return AFEResult(
+        dataset="d", method="m", task="C", base_score=scores[0],
+        best_score=scores[-1], selected_features=[], history=history,
+        wall_time=wall,
+    )
+
+
+class TestPairedPvalue:
+    def test_clear_improvement_significant(self):
+        rng = np.random.default_rng(0)
+        baseline = rng.normal(0.7, 0.01, 20)
+        ours = baseline + 0.1
+        assert paired_pvalue(ours, baseline) < 1e-6
+
+    def test_no_difference_insignificant(self):
+        values = np.full(10, 0.5)
+        assert paired_pvalue(values, values) == 1.0
+
+    def test_time_direction(self):
+        ours_time = np.full(10, 1.0) + np.random.default_rng(0).normal(0, 0.01, 10)
+        baseline_time = np.full(10, 2.0)
+        p = paired_pvalue(ours_time, baseline_time, larger_is_better=False)
+        assert p < 1e-6
+
+    def test_wilcoxon_method(self):
+        rng = np.random.default_rng(1)
+        baseline = rng.normal(0.7, 0.01, 20)
+        p = paired_pvalue(baseline + 0.1, baseline, method="wilcoxon")
+        assert p < 0.01
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            paired_pvalue(np.ones(5), np.zeros(5), method="bayes")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_pvalue(np.ones(3), np.ones(4))
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValueError):
+            paired_pvalue(np.ones(1), np.zeros(1))
+
+
+class TestImprovementPvalues:
+    def test_structure(self):
+        rng = np.random.default_rng(2)
+        scores = {
+            "E-AFE": rng.normal(0.85, 0.02, 12),
+            "NFS": rng.normal(0.80, 0.02, 12),
+        }
+        times = {
+            "E-AFE": rng.normal(5.0, 0.2, 12),
+            "NFS": rng.normal(10.0, 0.2, 12),
+        }
+        table = improvement_pvalues(scores, times)
+        assert set(table) == {"NFS"}
+        assert table["NFS"]["time"] < 0.01
+
+    def test_missing_ours(self):
+        with pytest.raises(KeyError):
+            improvement_pvalues({"NFS": np.ones(3)}, {"NFS": np.ones(3)})
+
+
+class TestCurves:
+    def test_curve_points(self):
+        result = _result([0.5, 0.6, 0.7])
+        points = curve_points(result)
+        assert points == [(1, 0.5), (2, 0.6), (3, 0.7)]
+
+    def test_curve_points_subsampled(self):
+        result = _result([0.5, 0.55, 0.6, 0.65, 0.7])
+        points = curve_points(result, n_points=3)
+        assert len(points) == 3
+        assert points[0][1] == 0.5 and points[-1][1] == 0.7
+
+    def test_curve_points_empty_history(self):
+        result = AFEResult(
+            dataset="d", method="m", task="C", base_score=0.5,
+            best_score=0.6, selected_features=[], wall_time=3.0,
+        )
+        assert curve_points(result) == [(3.0, 0.6)]
+
+    def test_time_to_reach(self):
+        result = _result([0.5, 0.6, 0.7])
+        assert time_to_reach(result, 0.6) == 2
+        assert time_to_reach(result, 0.9) is None
+
+    def test_speedup_at_score(self):
+        fast = _result([0.5, 0.7], times=[1.0, 2.0])
+        slow = _result([0.5, 0.7], times=[4.0, 8.0])
+        assert speedup_at_score(fast, slow) == pytest.approx(4.0)
+
+    def test_speedup_unreachable(self):
+        fast = _result([0.5, 0.6])
+        slow = _result([0.5, 0.55])
+        assert speedup_at_score(fast, slow, score=0.99) is None

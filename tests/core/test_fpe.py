@@ -1,0 +1,184 @@
+"""Unit tests for the FPE model: labelling, training, tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DownstreamEvaluator,
+    FPEModel,
+    label_features,
+    make_evaluator_factory,
+    tune_fpe,
+)
+from repro.core.fpe import label_generated_features
+from repro.datasets import make_classification, make_regression
+from repro.frame import Frame
+from repro.datasets.generators import TabularTask
+
+
+def _evaluator(task):
+    return DownstreamEvaluator(task=task.task, n_splits=3, n_estimators=3)
+
+
+class TestLabelFeatures:
+    def test_one_label_per_feature(self):
+        task = make_classification(n_samples=80, n_features=5, seed=0)
+        labels = label_features(task, _evaluator(task))
+        assert len(labels) == 5
+        assert {row.feature for row in labels} == set(task.X.columns)
+
+    def test_labels_are_binary(self):
+        task = make_classification(n_samples=80, n_features=4, seed=1)
+        labels = label_features(task, _evaluator(task))
+        assert all(row.label in (0, 1) for row in labels)
+
+    def test_label_consistent_with_gain(self):
+        task = make_classification(n_samples=80, n_features=4, seed=2)
+        for row in label_features(task, _evaluator(task), thre=0.01):
+            assert row.label == int(row.gain > 0.01)
+
+    def test_single_feature_dataset_yields_nothing(self):
+        task = TabularTask(
+            "one", "C", Frame({"a": np.arange(40.0)}),
+            (np.arange(40) > 20).astype(float),
+        )
+        assert label_features(task, _evaluator(task)) == []
+
+    def test_negative_threshold_rejected(self):
+        task = make_classification(n_samples=60, n_features=3, seed=0)
+        with pytest.raises(ValueError):
+            label_features(task, _evaluator(task), thre=-0.1)
+
+    def test_pure_noise_feature_not_effective(self):
+        # A feature of pure noise should essentially never be labelled
+        # effective under a positive threshold.
+        rng = np.random.default_rng(0)
+        informative = rng.normal(size=200)
+        y = (informative > 0).astype(float)
+        task = TabularTask(
+            "noise-test",
+            "C",
+            Frame({"signal": informative, "noise": rng.normal(size=200)}),
+            y,
+        )
+        labels = {row.feature: row for row in label_features(task, _evaluator(task))}
+        assert labels["noise"].label == 0
+        assert labels["signal"].label == 1
+
+
+class TestLabelGeneratedFeatures:
+    def test_produces_requested_candidates(self):
+        task = make_classification(n_samples=80, n_features=4, seed=3)
+        rows = label_generated_features(
+            task, _evaluator(task), n_candidates=5, seed=0
+        )
+        assert len(rows) == 5
+        for column, label in rows:
+            assert column.shape == (80,)
+            assert label in (0, 1)
+
+    def test_invalid_candidate_count(self):
+        task = make_classification(n_samples=60, n_features=3, seed=0)
+        with pytest.raises(ValueError):
+            label_generated_features(task, _evaluator(task), n_candidates=0)
+
+
+class TestFPEModel:
+    def _train_synthetic(self, method="ccws", d=24):
+        # Smooth informative columns vs spiky garbage columns: a signal
+        # the signature classifier can genuinely separate.
+        rng = np.random.default_rng(0)
+        columns, labels = [], []
+        for _ in range(40):
+            columns.append(rng.normal(size=100))
+            labels.append(1)
+        for _ in range(40):
+            spiky = np.zeros(100)
+            spiky[rng.integers(0, 100, 5)] = rng.uniform(100, 1000, 5)
+            columns.append(spiky)
+            labels.append(0)
+        model = FPEModel(method=method, d=d, seed=0)
+        model.fit_signatures(model.signatures(columns), np.array(labels))
+        return model, rng
+
+    def test_signature_dimension(self):
+        model = FPEModel(d=16, seed=0)
+        assert model.signature(np.random.default_rng(0).normal(size=60)).shape == (16,)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            FPEModel().predict_proba(np.zeros(10))
+
+    def test_is_fitted_flag(self):
+        model, _ = self._train_synthetic()
+        assert model.is_fitted
+
+    def test_separates_smooth_from_spiky(self):
+        model, rng = self._train_synthetic()
+        smooth = rng.normal(size=100)
+        spiky = np.zeros(100)
+        spiky[rng.integers(0, 100, 5)] = rng.uniform(100, 1000, 5)
+        assert model.predict_proba(smooth) > model.predict_proba(spiky)
+
+    def test_predict_is_threshold_of_proba(self):
+        model, rng = self._train_synthetic()
+        column = rng.normal(size=100)
+        assert model.predict(column) == int(model.predict_proba(column) >= 0.5)
+
+    def test_single_class_corpus_degenerate_but_usable(self):
+        model = FPEModel(d=8, seed=0)
+        H = np.random.default_rng(0).normal(size=(10, 8))
+        model.fit_signatures(H, np.ones(10))
+        assert model.is_fitted
+        assert model.predict_proba(np.random.default_rng(1).normal(size=30)) == 1.0
+
+    def test_misaligned_signatures_rejected(self):
+        model = FPEModel(d=8)
+        with pytest.raises(ValueError):
+            model.fit_signatures(np.zeros((3, 8)), np.zeros(4))
+
+    def test_validation_scores(self):
+        model, _ = self._train_synthetic()
+        rng = np.random.default_rng(5)
+        columns = [rng.normal(size=100) for _ in range(10)]
+        H = model.signatures(columns)
+        precision, recall = model.validation_scores(H, np.ones(10))
+        assert 0.0 <= precision <= 1.0 and 0.0 <= recall <= 1.0
+
+    def test_fit_from_corpus(self):
+        corpus = [
+            make_classification(n_samples=60, n_features=4, seed=s)
+            for s in range(2)
+        ]
+        model = FPEModel(d=16, seed=0)
+        model.fit(corpus, make_evaluator_factory(), generated_per_dataset=3)
+        assert model.is_fitted
+
+    def test_fit_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            FPEModel().fit([], make_evaluator_factory())
+
+
+class TestTuneFPE:
+    def test_grid_search_returns_feasible_best(self):
+        train = [
+            make_classification(n_samples=60, n_features=4, seed=s)
+            for s in range(2)
+        ] + [make_regression(n_samples=60, n_features=4, seed=5)]
+        validation = [make_classification(n_samples=60, n_features=4, seed=9)]
+        model, report = tune_fpe(
+            train,
+            validation,
+            make_evaluator_factory(),
+            methods=("ccws", "icws"),
+            dimensions=(8, 16),
+            seed=0,
+        )
+        assert model.is_fitted
+        assert len(report["trials"]) == 4
+        assert report["best"]["method"] in ("ccws", "icws")
+        assert report["best"]["d"] in (8, 16)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            tune_fpe([], [], make_evaluator_factory())

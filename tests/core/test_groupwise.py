@@ -1,0 +1,121 @@
+"""Tests for the GRFG-inspired group-wise extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    FPEModel,
+    GroupwiseEAFE,
+    GroupwiseFeatureSpace,
+    cluster_features,
+    make_evaluator_factory,
+)
+from repro.datasets import make_classification
+
+
+def _fpe():
+    corpus = [make_classification(n_samples=50, n_features=4, seed=s) for s in (0, 1)]
+    model = FPEModel(d=8, seed=0)
+    model.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+    return model
+
+
+FPE = _fpe()
+
+
+class TestClusterFeatures:
+    def test_partitions_all_features(self):
+        X = np.random.default_rng(0).normal(size=(100, 6))
+        groups = cluster_features(X, 3)
+        flat = sorted(j for group in groups for j in group)
+        assert flat == list(range(6))
+
+    def test_correlated_features_grouped_together(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=200)
+        X = np.column_stack(
+            [
+                base,
+                base + 0.01 * rng.normal(size=200),  # near-copy of column 0
+                rng.normal(size=200),
+                rng.normal(size=200),
+            ]
+        )
+        groups = cluster_features(X, 3)
+        group_of = {}
+        for g, members in enumerate(groups):
+            for j in members:
+                group_of[j] = g
+        assert group_of[0] == group_of[1]
+
+    def test_more_groups_than_features_gives_singletons(self):
+        X = np.random.default_rng(2).normal(size=(50, 3))
+        assert cluster_features(X, 10) == [[0], [1], [2]]
+
+    def test_constant_column_handled(self):
+        X = np.column_stack(
+            [np.ones(50), np.random.default_rng(3).normal(size=50)]
+        )
+        groups = cluster_features(X, 2)
+        assert sorted(j for g in groups for j in g) == [0, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cluster_features(np.zeros((10, 3)), 0)
+        with pytest.raises(ValueError):
+            cluster_features(np.zeros(10), 2)
+
+
+class TestGroupwiseFeatureSpace:
+    def test_one_agent_per_group(self):
+        task = make_classification(n_samples=80, n_features=6, seed=0)
+        space = GroupwiseFeatureSpace(task, n_groups=3, seed=0)
+        assert space.n_agents == len(space.groups_) <= 3
+
+    def test_subgroups_pool_cluster_members(self):
+        task = make_classification(n_samples=80, n_features=6, seed=0)
+        space = GroupwiseFeatureSpace(task, n_groups=2, seed=0)
+        total_roots = sum(len(group) for group in space.subgroups)
+        assert total_roots == 6
+
+    def test_binary_actions_can_cross_features(self):
+        # With pooled roots, mul(fi,fj) with i != j becomes reachable —
+        # the whole point of grouping.
+        task = make_classification(n_samples=80, n_features=6, seed=0)
+        space = GroupwiseFeatureSpace(task, n_groups=1, seed=0)
+        names = set()
+        for _ in range(60):
+            feature = space.generate(0, 6)  # mul
+            if feature is not None:
+                names.add(feature.name)
+        crossing = [
+            name for name in names
+            if name.startswith("mul(") and len(set(
+                part.strip() for part in name[4:-1].split(",")
+            )) == 2
+        ]
+        assert crossing, "no cross-feature product was ever generated"
+
+    def test_state_vector_shape_unchanged(self):
+        task = make_classification(n_samples=80, n_features=6, seed=0)
+        space = GroupwiseFeatureSpace(task, n_groups=2, seed=0)
+        assert space.state_vector(0).shape == (space.state_dim,)
+
+
+class TestGroupwiseEAFE:
+    def test_runs_end_to_end(self):
+        task = make_classification(n_samples=90, n_features=6, seed=5)
+        config = EngineConfig(
+            n_epochs=2, stage1_epochs=1, transforms_per_agent=3,
+            n_splits=3, n_estimators=3, max_agents=6, seed=0,
+        )
+        result = GroupwiseEAFE(FPE, config, n_groups=3).fit(task)
+        assert result.method == "E-AFE_G"
+        assert result.best_score >= result.base_score
+
+    def test_fewer_agents_than_features(self):
+        task = make_classification(n_samples=90, n_features=6, seed=5)
+        engine = GroupwiseEAFE(FPE, EngineConfig(max_agents=6), n_groups=2)
+        space = engine._make_space(task)
+        assert space.n_agents <= 2 < task.n_features

@@ -1,0 +1,93 @@
+"""Unit tests for FPE model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FPEModel,
+    fpe_from_dict,
+    fpe_to_dict,
+    load_fpe,
+    save_fpe,
+)
+from repro.ml import MLPClassifier
+
+
+def _fitted_model(method="ccws", d=16):
+    rng = np.random.default_rng(0)
+    model = FPEModel(method=method, d=d, seed=0)
+    H = rng.normal(size=(60, d))
+    labels = (H[:, 0] + 0.3 * rng.normal(size=60) > 0).astype(int)
+    model.fit_signatures(H, labels)
+    return model
+
+
+class TestSerialization:
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            fpe_to_dict(FPEModel())
+
+    def test_round_trip_preserves_config(self):
+        model = _fitted_model(method="icws", d=24)
+        restored = fpe_from_dict(fpe_to_dict(model))
+        assert restored.method == "icws"
+        assert restored.d == 24
+        assert restored.thre == model.thre
+
+    def test_round_trip_preserves_predictions(self):
+        model = _fitted_model()
+        restored = fpe_from_dict(fpe_to_dict(model))
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            column = rng.normal(size=80)
+            assert restored.predict_proba(column) == pytest.approx(
+                model.predict_proba(column)
+            )
+
+    def test_single_class_model_round_trip(self):
+        model = FPEModel(d=8, seed=0)
+        model.fit_signatures(np.zeros((5, 8)), np.ones(5))
+        restored = fpe_from_dict(fpe_to_dict(model))
+        assert restored.predict_proba(np.random.default_rng(0).normal(size=20)) == 1.0
+
+    def test_custom_classifier_rejected(self):
+        model = FPEModel(d=8, seed=0, classifier=MLPClassifier(n_epochs=2))
+        H = np.random.default_rng(0).normal(size=(20, 8))
+        model.fit_signatures(H, (H[:, 0] > 0).astype(int))
+        with pytest.raises(TypeError, match="LogisticRegression"):
+            fpe_to_dict(model)
+
+    def test_bad_version_rejected(self):
+        payload = fpe_to_dict(_fitted_model())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            fpe_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        model = _fitted_model()
+        path = tmp_path / "fpe.json"
+        save_fpe(model, path)
+        restored = load_fpe(path)
+        column = np.random.default_rng(1).normal(size=50)
+        assert restored.predict(column) == model.predict(column)
+
+    def test_file_is_json(self, tmp_path):
+        import json
+
+        model = _fitted_model()
+        path = tmp_path / "fpe.json"
+        save_fpe(model, path)
+        payload = json.loads(path.read_text())
+        assert payload["method"] == "ccws"
+
+    def test_loaded_model_usable_in_filter(self, tmp_path):
+        from repro.core import FPEFilter
+
+        model = _fitted_model()
+        path = tmp_path / "fpe.json"
+        save_fpe(model, path)
+        restored = load_fpe(path)
+        fpe_filter = FPEFilter(restored)
+        assert fpe_filter.proba(np.random.default_rng(2).normal(size=40)) >= 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for AFEResult serialization."""
+
+import json
+
+import numpy as np
+
+from repro.core.engine import AFEResult, EpochRecord
+
+
+def _result():
+    return AFEResult(
+        dataset="d",
+        method="E-AFE",
+        task="C",
+        base_score=0.7,
+        best_score=0.8,
+        selected_features=["f1", "mul(f1,f1)"],
+        history=[EpochRecord(0, 1.5, 3, 0.75), EpochRecord(1, 3.0, 6, 0.8)],
+        n_downstream_evaluations=6,
+        n_generated=10,
+        n_filtered_out=4,
+        wall_time=3.2,
+        generation_time=0.01,
+        evaluation_time=2.9,
+        selected_matrix=np.ones((4, 2)),
+    )
+
+
+class TestToDict:
+    def test_core_fields(self):
+        payload = _result().to_dict()
+        assert payload["dataset"] == "d"
+        assert payload["method"] == "E-AFE"
+        assert payload["best_score"] == 0.8
+        assert payload["improvement"] == 0.8 - 0.7
+
+    def test_history_serialized(self):
+        payload = _result().to_dict()
+        assert len(payload["history"]) == 2
+        assert payload["history"][1]["best_score"] == 0.8
+
+    def test_matrix_excluded_by_default(self):
+        assert "selected_matrix" not in _result().to_dict()
+
+    def test_matrix_included_on_request(self):
+        payload = _result().to_dict(include_matrix=True)
+        assert payload["selected_matrix"] == [[1.0, 1.0]] * 4
+
+    def test_json_round_trip(self):
+        payload = _result().to_dict(include_matrix=True)
+        restored = json.loads(json.dumps(payload))
+        assert restored["selected_features"] == ["f1", "mul(f1,f1)"]
+
+    def test_no_matrix_result_serializes(self):
+        result = AFEResult(
+            dataset="d", method="m", task="R", base_score=0.1,
+            best_score=0.1, selected_features=[],
+        )
+        payload = result.to_dict(include_matrix=True)
+        assert "selected_matrix" not in payload

@@ -1,0 +1,130 @@
+"""Unit + property tests for Eq. 7-8 reward shaping and candidate filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FPEModel,
+    FPERewardTracker,
+    FPEFilter,
+    KeepAllFilter,
+    RandomFilter,
+    fpe_pseudo_score,
+)
+
+
+class TestFpePseudoScore:
+    def test_continuous_at_half(self):
+        low = fpe_pseudo_score(0.4999999, 0.7)
+        high = fpe_pseudo_score(0.5, 0.7)
+        assert low == pytest.approx(high, abs=1e-5)
+
+    def test_equals_base_at_half(self):
+        assert fpe_pseudo_score(0.5, 0.7) == pytest.approx(0.7)
+
+    def test_confident_positive_raises_score(self):
+        assert fpe_pseudo_score(1.0, 0.7) > 0.7
+
+    def test_confident_negative_lowers_score(self):
+        assert fpe_pseudo_score(0.0, 0.7) < 0.7
+
+    def test_extremes_match_equation(self):
+        thre, dmax, dmin = 0.01, 0.05, -0.05
+        # p=0: A_O - (dmax - thre); p=1: A_O + (thre - dmin).
+        assert fpe_pseudo_score(0.0, 0.7, thre, dmax, dmin) == pytest.approx(
+            0.7 - (dmax - thre)
+        )
+        assert fpe_pseudo_score(1.0, 0.7, thre, dmax, dmin) == pytest.approx(
+            0.7 + (thre - dmin)
+        )
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            fpe_pseudo_score(1.5, 0.7)
+
+    def test_invalid_deltas(self):
+        with pytest.raises(ValueError):
+            fpe_pseudo_score(0.5, 0.7, thre=0.1, delta_max=0.05)
+        with pytest.raises(ValueError):
+            fpe_pseudo_score(0.5, 0.7, delta_min=0.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_nondecreasing_in_p(self, p):
+        if p >= 1.0:
+            return
+        step = min(1.0 - p, 0.01)
+        assert fpe_pseudo_score(p + step, 0.7) >= fpe_pseudo_score(p, 0.7) - 1e-12
+
+
+class TestFPERewardTracker:
+    def test_first_reward_relative_to_base(self):
+        tracker = FPERewardTracker(n_agents=2, base_score=0.7)
+        reward = tracker.reward(0, 1.0)
+        assert reward == pytest.approx(fpe_pseudo_score(1.0, 0.7) - 0.7)
+
+    def test_rewards_telescoping(self):
+        tracker = FPERewardTracker(n_agents=1, base_score=0.7)
+        first = tracker.reward(0, 0.9)
+        second = tracker.reward(0, 0.9)
+        # Same probability twice: second pseudo score equals the first,
+        # so the incremental reward collapses to ~0.
+        assert first > 0
+        assert second == pytest.approx(0.0, abs=1e-12)
+
+    def test_per_agent_isolation(self):
+        tracker = FPERewardTracker(n_agents=2, base_score=0.7)
+        tracker.reward(0, 1.0)
+        # Agent 1 was untouched: its reward still measures from base.
+        assert tracker.reward(1, 1.0) > 0
+
+    def test_reset(self):
+        tracker = FPERewardTracker(n_agents=1, base_score=0.7)
+        tracker.reward(0, 1.0)
+        tracker.reset()
+        assert tracker.reward(0, 1.0) > 0
+
+    def test_bad_agent_index(self):
+        with pytest.raises(IndexError):
+            FPERewardTracker(n_agents=1, base_score=0.5).reward(3, 0.5)
+
+    def test_invalid_agent_count(self):
+        with pytest.raises(ValueError):
+            FPERewardTracker(n_agents=0, base_score=0.5)
+
+
+class TestFilters:
+    def test_keep_all(self):
+        keep = KeepAllFilter()
+        assert keep.proba(np.zeros(5)) == 1.0
+        assert keep.keep(np.zeros(5))
+
+    def test_random_filter_rate(self):
+        drop = RandomFilter(keep_rate=0.25, seed=0)
+        kept = sum(drop.keep(np.zeros(3)) for _ in range(1000))
+        assert 180 < kept < 320
+
+    def test_random_filter_extremes(self):
+        always = RandomFilter(keep_rate=1.0, seed=0)
+        never = RandomFilter(keep_rate=0.0, seed=0)
+        assert all(always.keep(np.zeros(2)) for _ in range(20))
+        assert not any(never.keep(np.zeros(2)) for _ in range(20))
+
+    def test_random_filter_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RandomFilter(keep_rate=1.5)
+
+    def test_fpe_filter_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            FPEFilter(FPEModel())
+
+    def test_fpe_filter_delegates(self):
+        model = FPEModel(d=8, seed=0)
+        H = np.random.default_rng(0).normal(size=(20, 8))
+        labels = (H[:, 0] > 0).astype(int)
+        model.fit_signatures(H, labels)
+        fpe_filter = FPEFilter(model)
+        column = np.random.default_rng(1).normal(size=50)
+        assert fpe_filter.proba(column) == model.predict_proba(column)

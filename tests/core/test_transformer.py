@@ -1,0 +1,96 @@
+"""Unit + integration tests for the FeatureTransformer inference path."""
+
+import numpy as np
+import pytest
+
+from repro.core import EAFE, EngineConfig, FeatureTransformer, FPEModel
+from repro.core.pretrain import make_evaluator_factory
+from repro.datasets import make_classification
+from repro.frame import Frame
+
+
+class TestBasics:
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureTransformer([])
+
+    def test_required_columns(self):
+        transformer = FeatureTransformer(["f1", "mul(f1,f2)", "log(f3)"])
+        assert transformer.required_columns == {"f1", "f2", "f3"}
+
+    def test_max_order(self):
+        transformer = FeatureTransformer(["f1", "log(minmax(f1))"])
+        assert transformer.max_order == 3
+
+    def test_transform_produces_all_features(self):
+        frame = Frame({"f1": [1.0, 4.0], "f2": [2.0, 3.0]})
+        transformer = FeatureTransformer(["f1", "mul(f1,f2)"])
+        out = transformer.transform(frame)
+        assert out.columns == ["f1", "mul(f1,f2)"]
+        np.testing.assert_allclose(out["mul(f1,f2)"], [2.0, 12.0])
+
+    def test_missing_column_rejected(self):
+        transformer = FeatureTransformer(["mul(f1,f2)"])
+        with pytest.raises(KeyError, match="missing columns"):
+            transformer.transform(Frame({"f1": [1.0]}))
+
+    def test_transform_array(self):
+        frame = Frame({"f1": [1.0, 2.0]})
+        out = FeatureTransformer(["f1", "sqrt(f1)"]).transform_array(frame)
+        assert out.shape == (2, 2)
+
+    def test_repr(self):
+        assert "n_features=2" in repr(FeatureTransformer(["f1", "log(f1)"]))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        transformer = FeatureTransformer(["f1", "div(f1,f2)"])
+        path = tmp_path / "pipeline.json"
+        transformer.save(path)
+        restored = FeatureTransformer.load(path)
+        assert restored.feature_names == transformer.feature_names
+        frame = Frame({"f1": [4.0], "f2": [2.0]})
+        np.testing.assert_array_equal(
+            restored.transform_array(frame), transformer.transform_array(frame)
+        )
+
+
+class TestEndToEndInference:
+    def test_replays_engine_selection_on_training_data(self):
+        # The transformer applied to training data must reproduce the
+        # engine's cached best matrix column by column (stateless
+        # operators only — minmax columns are checked separately).
+        corpus = [
+            make_classification(n_samples=50, n_features=4, seed=s)
+            for s in range(2)
+        ]
+        fpe = FPEModel(d=8, seed=0)
+        fpe.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+        task = make_classification(n_samples=120, n_features=5, seed=21)
+        config = EngineConfig(
+            n_epochs=3, stage1_epochs=1, transforms_per_agent=3,
+            n_splits=3, n_estimators=3, max_agents=5, seed=0,
+        )
+        result = EAFE(fpe, config).fit(task)
+        transformer = FeatureTransformer.from_result(result)
+        replayed = transformer.transform_array(task.X)
+        assert replayed.shape == result.selected_matrix.shape
+        for j, name in enumerate(result.selected_features):
+            np.testing.assert_allclose(
+                replayed[:, j],
+                result.selected_matrix[:, j],
+                rtol=1e-9,
+                atol=1e-9,
+                err_msg=name,
+            )
+
+    def test_applies_to_unseen_rows(self):
+        task = make_classification(n_samples=100, n_features=4, seed=22)
+        transformer = FeatureTransformer(
+            ["f0", "mul(f0,f1)", "log(f2)", "div(f3,f0)"]
+        )
+        unseen = make_classification(n_samples=37, n_features=4, seed=99).X
+        out = transformer.transform(unseen)
+        assert out.shape == (37, 4)
+        assert out.isfinite()

@@ -1,0 +1,99 @@
+"""Cross-variant consistency checks on shared infrastructure.
+
+Table III's credibility rests on every column being produced by the
+same loop with only documented switches flipped.  These tests pin the
+switch matrix and the invariants that make the comparison fair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NFS, AutoFSR
+from repro.core import EngineConfig, FPEModel, make_evaluator_factory
+from repro.core.variants import VARIANT_NAMES, make_variant
+from repro.datasets import make_classification
+
+
+def _fpe():
+    corpus = [make_classification(n_samples=50, n_features=4, seed=s) for s in (0, 1)]
+    model = FPEModel(d=8, seed=0)
+    model.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+    return model
+
+
+FPE = _fpe()
+TASK = make_classification(n_samples=80, n_features=4, seed=30)
+
+
+def _config():
+    return EngineConfig(
+        n_epochs=1, stage1_epochs=1, transforms_per_agent=2,
+        n_splits=3, n_estimators=3, max_agents=4, seed=0,
+    )
+
+
+class TestSwitchMatrix:
+    """The filter/staging/credit switch table from the engine docs."""
+
+    def test_eafe_switches(self):
+        engine = make_variant("E-AFE", _config(), fpe=FPE)
+        assert engine.config.two_stage is True
+        assert engine.config.per_step_rewards is True
+
+    def test_eafe_d_switches(self):
+        engine = make_variant("E-AFE_D", _config())
+        assert engine.config.two_stage is True
+        assert engine.config.per_step_rewards is True
+
+    def test_eafe_r_switches(self):
+        engine = make_variant("E-AFE_R", _config(), fpe=FPE)
+        assert engine.config.two_stage is False
+        assert engine.config.per_step_rewards is False
+
+    def test_nfs_switches(self):
+        engine = NFS(_config())
+        assert engine.config.two_stage is False
+        assert engine.config.per_step_rewards is False
+
+    @pytest.mark.parametrize("name", VARIANT_NAMES)
+    def test_every_variant_reports_its_name(self, name):
+        engine = make_variant(name, _config(), fpe=FPE)
+        assert engine.method_name == name
+
+
+class TestFairComparisonInvariants:
+    def test_same_base_score_across_engines(self):
+        # Every engine evaluates the same working set first, so the
+        # baseline A_0 must agree across methods on the same dataset.
+        config = _config()
+        scores = set()
+        for engine in (
+            make_variant("E-AFE", config, fpe=FPE),
+            make_variant("E-AFE_D", config),
+            NFS(config),
+            AutoFSR(config),
+        ):
+            scores.add(round(engine.fit(TASK).base_score, 12))
+        assert len(scores) == 1
+
+    def test_accounting_invariant_all_variants(self):
+        # generated = filtered + evaluated-candidates for every engine
+        # that goes through the shared loop.
+        config = _config()
+        for name in ("E-AFE", "E-AFE_D", "E-AFE_R"):
+            result = make_variant(name, config, fpe=FPE).fit(TASK)
+            evaluated = result.n_downstream_evaluations - 1  # minus base
+            assert result.n_generated == result.n_filtered_out + evaluated, name
+
+    def test_histories_have_epoch_per_entry(self):
+        config = _config()
+        result = make_variant("E-AFE", config, fpe=FPE).fit(TASK)
+        assert [record.epoch for record in result.history] == list(
+            range(len(result.history))
+        )
+
+    def test_scores_bounded_for_classification(self):
+        config = _config()
+        for name in VARIANT_NAMES:
+            result = make_variant(name, config, fpe=FPE).fit(TASK)
+            assert 0.0 <= result.best_score <= 1.0, name

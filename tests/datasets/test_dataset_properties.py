@@ -1,0 +1,67 @@
+"""Hypothesis property tests over the dataset substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load, load_public, make_classification, make_regression
+from repro.datasets.registry import TARGET_DATASETS
+
+
+class TestGeneratorProperties:
+    @given(
+        st.integers(min_value=20, max_value=300),
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_classification_total_function(self, n, d, seed):
+        task = make_classification(n_samples=n, n_features=d, seed=seed)
+        assert task.X.shape == (n, d)
+        assert task.X.isfinite()
+        assert np.isfinite(task.y).all()
+        assert set(np.unique(task.y)) <= set(range(10))
+
+    @given(
+        st.integers(min_value=20, max_value=300),
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_regression_total_function(self, n, d, seed):
+        task = make_regression(n_samples=n, n_features=d, seed=seed)
+        assert task.X.shape == (n, d)
+        assert np.isfinite(task.y).all()
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_requested_class_count(self, k, seed):
+        task = make_classification(
+            n_samples=60 * k, n_classes=k, seed=seed
+        )
+        assert len(np.unique(task.y)) == k
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism_by_seed(self, seed):
+        a = make_classification(n_samples=60, n_features=4, seed=seed)
+        b = make_classification(n_samples=60, n_features=4, seed=seed)
+        np.testing.assert_array_equal(a.X.to_array(), b.X.to_array())
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestRegistryProperties:
+    @given(st.sampled_from([entry.name for entry in TARGET_DATASETS]))
+    @settings(max_examples=36, deadline=None)
+    def test_every_registry_entry_loads_scaled(self, name):
+        task = load(name, max_samples=60, max_features=5)
+        assert task.n_samples <= 60
+        assert task.n_features <= 5
+        assert task.name == name
+
+    @given(st.integers(min_value=0, max_value=238))
+    @settings(max_examples=20, deadline=None)
+    def test_every_public_index_loads(self, index):
+        task = load_public(index, scale=0.2)
+        assert task.n_samples >= 40
+        assert task.n_features >= 3

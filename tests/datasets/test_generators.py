@@ -1,0 +1,118 @@
+"""Unit + property tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import TabularTask, make_classification, make_regression
+from repro.frame import Frame
+from repro.ml import (
+    RandomForestClassifier,
+    Ridge,
+    cross_val_mean,
+    f1_score,
+    one_minus_rae,
+)
+
+
+class TestTabularTask:
+    def test_shape_properties(self):
+        task = make_classification(n_samples=100, n_features=6, seed=0)
+        assert task.n_samples == 100
+        assert task.n_features == 6
+
+    def test_invalid_task_type(self):
+        with pytest.raises(ValueError):
+            TabularTask("x", "Z", Frame({"a": [1.0]}), np.array([1.0]))
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            TabularTask("x", "C", Frame({"a": [1.0, 2.0]}), np.array([1.0]))
+
+    def test_subsample(self):
+        task = make_classification(n_samples=200, seed=0)
+        sub = task.subsample(50, seed=1)
+        assert sub.n_samples == 50
+        assert sub.n_features == task.n_features
+
+    def test_subsample_beyond_size_returns_self(self):
+        task = make_classification(n_samples=50, seed=0)
+        assert task.subsample(500) is task
+
+
+class TestMakeClassification:
+    def test_deterministic(self):
+        a = make_classification(seed=3)
+        b = make_classification(seed=3)
+        np.testing.assert_array_equal(a.y, b.y)
+        assert a.X == b.X
+
+    def test_different_seeds_differ(self):
+        a = make_classification(seed=1)
+        b = make_classification(seed=2)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_class_count(self):
+        task = make_classification(n_samples=300, n_classes=4, seed=0)
+        assert len(np.unique(task.y)) == 4
+
+    def test_classes_roughly_balanced(self):
+        task = make_classification(n_samples=400, n_classes=2, seed=0)
+        positive_rate = np.mean(task.y == 1)
+        assert 0.3 < positive_rate < 0.7
+
+    def test_finite_features(self):
+        assert make_classification(seed=0).X.isfinite()
+
+    def test_invalid_label_noise(self):
+        with pytest.raises(ValueError):
+            make_classification(label_noise=1.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            make_classification(n_samples=3, n_classes=2)
+
+    def test_task_is_learnable_but_not_trivial(self):
+        # The planted-interaction design: RF on raw features should do
+        # clearly better than chance but leave headroom for AFE.
+        task = make_classification(n_samples=400, n_features=8, seed=5)
+        forest = RandomForestClassifier(n_estimators=10, seed=0)
+        score = cross_val_mean(
+            forest, task.X.to_array(), task.y, f1_score, stratified=True
+        )
+        assert 0.55 < score < 0.99
+
+    @given(st.integers(min_value=10, max_value=200), st.integers(min_value=3, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_requested_shape_produced(self, n, d):
+        task = make_classification(n_samples=n, n_features=d, seed=0)
+        assert task.X.shape == (n, d)
+
+
+class TestMakeRegression:
+    def test_deterministic(self):
+        a = make_regression(seed=3)
+        b = make_regression(seed=3)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_target_not_constant(self):
+        assert make_regression(seed=0).y.std() > 0.1
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            make_regression(noise=-1.0)
+
+    def test_nonlinear_structure_present(self):
+        # A linear model should NOT fully explain the target (interactions
+        # are planted), yet should beat the mean predictor.
+        task = make_regression(n_samples=500, n_features=8, seed=7)
+        linear_score = cross_val_mean(
+            Ridge(alpha=1.0), task.X.to_array(), task.y, one_minus_rae
+        )
+        assert linear_score < 0.9
+
+    def test_finite(self):
+        task = make_regression(seed=0)
+        assert task.X.isfinite()
+        assert np.isfinite(task.y).all()

@@ -1,0 +1,118 @@
+"""Unit tests for the Table III registry and the public corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    N_PUBLIC_CLASSIFICATION,
+    N_PUBLIC_REGRESSION,
+    TARGET_DATASETS,
+    dataset_names,
+    load,
+    load_public,
+    public_corpus,
+    spec,
+)
+
+
+class TestRegistryMetadata:
+    def test_thirty_six_datasets(self):
+        assert len(TARGET_DATASETS) == 36
+
+    def test_task_split_matches_paper(self):
+        assert len(dataset_names("C")) == 26
+        assert len(dataset_names("R")) == 10
+
+    def test_known_spec_rows(self):
+        higgs = spec("Higgs Boson")
+        assert (higgs.n_samples, higgs.n_features, higgs.task) == (50000, 28, "C")
+        boston = spec("Housing Boston")
+        assert (boston.n_samples, boston.n_features, boston.task) == (506, 13, "R")
+        ovary = spec("AP. ovary")
+        assert ovary.n_features == 10936
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            spec("mnist")
+
+    def test_invalid_task_filter(self):
+        with pytest.raises(ValueError):
+            dataset_names("X")
+
+    def test_names_unique(self):
+        names = dataset_names()
+        assert len(names) == len(set(names))
+
+
+class TestRegistryLoad:
+    def test_small_dataset_loads_full_size(self):
+        task = load("labor")
+        assert task.n_samples == 57
+        assert task.n_features == 8
+
+    def test_scale_shrinks_both_axes(self):
+        task = load("SpamBase", scale=0.1)
+        assert task.n_samples == 460
+        assert task.n_features == 5
+
+    def test_caps_apply(self):
+        task = load("Higgs Boson", max_samples=200, max_features=10)
+        assert task.n_samples == 200
+        assert task.n_features == 10
+
+    def test_load_is_deterministic(self):
+        a = load("sonar", scale=0.5)
+        b = load("sonar", scale=0.5)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_datasets_differ(self):
+        a = load("labor")
+        b = load("fertility", max_samples=57, max_features=8)
+        assert not np.array_equal(a.X.to_array(), b.X.to_array()[: a.n_samples])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load("labor", scale=0.0)
+
+    def test_task_type_propagated(self):
+        assert load("Airfoil", scale=0.2).task == "R"
+        assert load("diabetes", scale=0.2).task == "C"
+
+    def test_multiclass_dataset(self):
+        task = load("Wine Q. Red", scale=0.5)
+        assert len(np.unique(task.y)) == 5
+
+
+class TestPublicCorpus:
+    def test_paper_cardinalities(self):
+        assert N_PUBLIC_CLASSIFICATION == 141
+        assert N_PUBLIC_REGRESSION == 98
+
+    def test_load_public_deterministic(self):
+        a = load_public(17)
+        b = load_public(17)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            load_public(239)
+
+    def test_task_boundary(self):
+        assert load_public(140).task == "C"
+        assert load_public(141).task == "R"
+
+    def test_corpus_limit(self):
+        items = list(public_corpus(limit=5, scale=0.3))
+        assert len(items) == 5
+
+    def test_corpus_task_filter(self):
+        items = list(public_corpus(task="R", limit=3, scale=0.3))
+        assert all(item.task == "R" for item in items)
+
+    def test_corpus_names_unique(self):
+        names = [t.name for t in public_corpus(limit=10, scale=0.3)]
+        assert len(set(names)) == 10
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            list(public_corpus(task="Q", limit=1))

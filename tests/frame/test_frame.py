@@ -1,0 +1,238 @@
+"""Unit tests for repro.frame.Frame."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+class TestConstruction:
+    def test_empty(self):
+        frame = Frame()
+        assert frame.shape == (0, 0)
+        assert frame.columns == []
+
+    def test_from_mapping(self):
+        frame = Frame({"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert frame.shape == (3, 2)
+        assert frame.columns == ["a", "b"]
+
+    def test_from_matrix_default_names(self):
+        frame = Frame(np.arange(6).reshape(3, 2))
+        assert frame.columns == ["f0", "f1"]
+
+    def test_from_matrix_named(self):
+        frame = Frame(np.arange(6).reshape(3, 2), columns=["x", "y"])
+        assert frame["y"].tolist() == [1.0, 3.0, 5.0]
+
+    def test_from_1d_array(self):
+        frame = Frame(np.arange(4))
+        assert frame.shape == (4, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Frame(np.zeros((2, 2, 2)))
+
+    def test_column_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="column names"):
+            Frame(np.zeros((2, 3)), columns=["a"])
+
+    def test_values_coerced_to_float64(self):
+        frame = Frame({"a": [1, 2]})
+        assert frame["a"].dtype == np.float64
+
+
+class TestColumnAccess:
+    def test_getitem_returns_array(self):
+        frame = Frame({"a": [1.5, 2.5]})
+        np.testing.assert_array_equal(frame["a"], [1.5, 2.5])
+
+    def test_getitem_missing_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no column named 'zz'"):
+            Frame({"a": [1]})["zz"]
+
+    def test_getitem_list_returns_frame(self):
+        frame = Frame({"a": [1], "b": [2], "c": [3]})
+        sub = frame[["c", "a"]]
+        assert isinstance(sub, Frame)
+        assert sub.columns == ["c", "a"]
+
+    def test_setitem_adds_column(self):
+        frame = Frame({"a": [1, 2]})
+        frame["b"] = [3, 4]
+        assert frame.shape == (2, 2)
+
+    def test_setitem_length_mismatch(self):
+        frame = Frame({"a": [1, 2]})
+        with pytest.raises(ValueError, match="length"):
+            frame["b"] = [1, 2, 3]
+
+    def test_delitem(self):
+        frame = Frame({"a": [1], "b": [2]})
+        del frame["a"]
+        assert frame.columns == ["b"]
+
+    def test_delitem_missing(self):
+        with pytest.raises(KeyError):
+            frame = Frame({"a": [1]})
+            del frame["b"]
+
+    def test_contains(self):
+        frame = Frame({"a": [1]})
+        assert "a" in frame
+        assert "b" not in frame
+
+
+class TestColumnOps:
+    def test_select_preserves_order(self):
+        frame = Frame({"a": [1], "b": [2], "c": [3]})
+        assert frame.select(["b", "a"]).columns == ["b", "a"]
+
+    def test_select_missing(self):
+        with pytest.raises(KeyError):
+            Frame({"a": [1]}).select(["b"])
+
+    def test_select_empty_keeps_row_count(self):
+        frame = Frame({"a": [1, 2, 3]})
+        out = frame.select([])
+        assert out.shape == (3, 0)
+
+    def test_drop_single(self):
+        frame = Frame({"a": [1], "b": [2]})
+        assert frame.drop("a").columns == ["b"]
+
+    def test_drop_multiple(self):
+        frame = Frame({"a": [1], "b": [2], "c": [3]})
+        assert frame.drop(["a", "c"]).columns == ["b"]
+
+    def test_drop_missing(self):
+        with pytest.raises(KeyError):
+            Frame({"a": [1]}).drop("b")
+
+    def test_drop_does_not_mutate(self):
+        frame = Frame({"a": [1], "b": [2]})
+        frame.drop("a")
+        assert frame.columns == ["a", "b"]
+
+    def test_rename(self):
+        frame = Frame({"a": [1], "b": [2]})
+        out = frame.rename({"a": "x"})
+        assert out.columns == ["x", "b"]
+
+    def test_assign_returns_new_frame(self):
+        frame = Frame({"a": [1, 2]})
+        out = frame.assign(b=[3, 4])
+        assert "b" not in frame
+        assert "b" in out
+
+    def test_with_column_arbitrary_name(self):
+        frame = Frame({"a": [1, 2]})
+        out = frame.with_column("mul(a,a)", [1, 4])
+        assert "mul(a,a)" in out
+
+
+class TestRowOps:
+    def test_take(self):
+        frame = Frame({"a": [10, 20, 30]})
+        out = frame.take([2, 0])
+        np.testing.assert_array_equal(out["a"], [30, 10])
+
+    def test_head(self):
+        frame = Frame({"a": list(range(10))})
+        assert frame.head(3).n_rows == 3
+
+    def test_head_beyond_length(self):
+        frame = Frame({"a": [1, 2]})
+        assert frame.head(99).n_rows == 2
+
+    def test_sample_without_replacement(self):
+        frame = Frame({"a": list(range(100))})
+        rng = np.random.default_rng(0)
+        out = frame.sample(10, rng)
+        assert out.n_rows == 10
+        assert len(set(out["a"].tolist())) == 10
+
+    def test_sample_too_many_raises(self):
+        frame = Frame({"a": [1, 2]})
+        with pytest.raises(ValueError):
+            frame.sample(5, np.random.default_rng(0))
+
+    def test_sample_with_replacement_allows_more(self):
+        frame = Frame({"a": [1, 2]})
+        out = frame.sample(5, np.random.default_rng(0), replace=True)
+        assert out.n_rows == 5
+
+
+class TestCombination:
+    def test_concat_columns(self):
+        left = Frame({"a": [1]})
+        right = Frame({"b": [2]})
+        out = Frame.concat_columns([left, right])
+        assert out.columns == ["a", "b"]
+
+    def test_concat_columns_dedupes_names(self):
+        left = Frame({"a": [1]})
+        right = Frame({"a": [2]})
+        out = Frame.concat_columns([left, right])
+        assert out.columns == ["a", "a__1"]
+
+    def test_concat_rows(self):
+        top = Frame({"a": [1]})
+        bottom = Frame({"a": [2, 3]})
+        out = Frame.concat_rows([top, bottom])
+        assert out["a"].tolist() == [1.0, 2.0, 3.0]
+
+    def test_concat_rows_mismatch(self):
+        with pytest.raises(ValueError):
+            Frame.concat_rows([Frame({"a": [1]}), Frame({"b": [1]})])
+
+    def test_concat_rows_empty_list(self):
+        assert Frame.concat_rows([]).shape == (0, 0)
+
+
+class TestConversionAndSummary:
+    def test_to_array_shape(self):
+        frame = Frame({"a": [1, 2], "b": [3, 4]})
+        assert frame.to_array().shape == (2, 2)
+
+    def test_to_array_copy_is_detached(self):
+        frame = Frame({"a": [1.0]})
+        matrix = frame.to_array()
+        matrix[0, 0] = 99.0
+        assert frame["a"][0] == 1.0
+
+    def test_values_property(self):
+        frame = Frame({"a": [1]})
+        np.testing.assert_array_equal(frame.values, [[1.0]])
+
+    def test_empty_to_array(self):
+        assert Frame().to_array().shape == (0, 0)
+
+    def test_copy_is_deep(self):
+        frame = Frame({"a": [1.0]})
+        dup = frame.copy()
+        dup["a"][0] = 5.0
+        assert frame["a"][0] == 1.0
+
+    def test_describe(self):
+        frame = Frame({"a": [1.0, 3.0]})
+        stats = frame.describe()["a"]
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+
+    def test_describe_ignores_nonfinite(self):
+        frame = Frame({"a": [1.0, np.nan, np.inf, 3.0]})
+        assert frame.describe()["a"]["max"] == 3.0
+
+    def test_describe_all_nan(self):
+        frame = Frame({"a": [np.nan, np.nan]})
+        assert np.isnan(frame.describe()["a"]["mean"])
+
+    def test_isfinite(self):
+        assert Frame({"a": [1.0]}).isfinite()
+        assert not Frame({"a": [np.nan]}).isfinite()
+
+    def test_equality(self):
+        assert Frame({"a": [1]}) == Frame({"a": [1]})
+        assert Frame({"a": [1]}) != Frame({"a": [2]})
+        assert Frame({"a": [np.nan]}) == Frame({"a": [np.nan]})

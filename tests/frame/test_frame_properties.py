@@ -1,0 +1,100 @@
+"""Hypothesis property tests for Frame invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.frame import Frame, frame_from_csv_string, frame_to_csv_string
+
+matrices = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+    elements=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+)
+
+
+def _frame_of(matrix: np.ndarray) -> Frame:
+    return Frame(matrix, columns=[f"c{j}" for j in range(matrix.shape[1])])
+
+
+class TestStructuralInvariants:
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_to_array_round_trip(self, matrix):
+        frame = _frame_of(matrix)
+        np.testing.assert_array_equal(frame.to_array(), matrix)
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_select_all_is_identity(self, matrix):
+        frame = _frame_of(matrix)
+        assert frame.select(frame.columns) == frame
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_drop_then_shape(self, matrix):
+        frame = _frame_of(matrix)
+        if frame.n_columns < 2:
+            return
+        dropped = frame.drop(frame.columns[0])
+        assert dropped.shape == (frame.n_rows, frame.n_columns - 1)
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_take_identity_permutation(self, matrix):
+        frame = _frame_of(matrix)
+        assert frame.take(np.arange(frame.n_rows)) == frame
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_take_reverse_twice_is_identity(self, matrix):
+        frame = _frame_of(matrix)
+        reverse = np.arange(frame.n_rows)[::-1]
+        assert frame.take(reverse).take(reverse) == frame
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_copy_is_equal_but_independent(self, matrix):
+        frame = _frame_of(matrix)
+        duplicate = frame.copy()
+        assert duplicate == frame
+        if frame.n_rows and frame.n_columns:
+            duplicate[frame.columns[0]][0] += 1.0
+            assert duplicate != frame
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_concat_rows_with_self_doubles(self, matrix):
+        frame = _frame_of(matrix)
+        stacked = Frame.concat_rows([frame, frame])
+        assert stacked.shape == (2 * frame.n_rows, frame.n_columns)
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_concat_columns_preserves_rows(self, matrix):
+        frame = _frame_of(matrix)
+        widened = Frame.concat_columns([frame, frame])
+        assert widened.shape == (frame.n_rows, 2 * frame.n_columns)
+        # Duplicate names must have been uniquified.
+        assert len(set(widened.columns)) == widened.n_columns
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_csv_round_trip(self, matrix):
+        frame = _frame_of(matrix)
+        restored = frame_from_csv_string(frame_to_csv_string(frame))
+        assert restored.columns == frame.columns
+        np.testing.assert_allclose(
+            restored.to_array(), frame.to_array(), rtol=1e-10, atol=1e-10
+        )
+
+    @given(matrices, st.integers(min_value=0, max_value=11))
+    @settings(max_examples=50, deadline=None)
+    def test_rename_preserves_data(self, matrix, column_index):
+        frame = _frame_of(matrix)
+        if column_index >= frame.n_columns:
+            return
+        old = frame.columns[column_index]
+        renamed = frame.rename({old: "renamed"})
+        np.testing.assert_array_equal(renamed["renamed"], frame[old])

@@ -1,0 +1,53 @@
+"""Unit tests for CSV round-trips."""
+
+import numpy as np
+
+from repro.frame import (
+    Frame,
+    frame_from_csv_string,
+    frame_to_csv_string,
+    read_csv,
+    write_csv,
+)
+
+
+def test_round_trip_simple():
+    frame = Frame({"a": [1.0, 2.5], "b": [-3.0, 0.0]})
+    out = frame_from_csv_string(frame_to_csv_string(frame))
+    assert out == frame
+
+
+def test_round_trip_nan():
+    frame = Frame({"a": [np.nan, 1.0]})
+    out = frame_from_csv_string(frame_to_csv_string(frame))
+    assert np.isnan(out["a"][0])
+    assert out["a"][1] == 1.0
+
+
+def test_round_trip_generated_feature_names():
+    frame = Frame({"add(f1,f2)": [1.0], "log(f3)": [2.0]})
+    out = frame_from_csv_string(frame_to_csv_string(frame))
+    assert out.columns == ["add(f1,f2)", "log(f3)"]
+
+
+def test_empty_string_gives_empty_frame():
+    assert frame_from_csv_string("").shape == (0, 0)
+
+
+def test_header_only():
+    out = frame_from_csv_string("a,b\n")
+    assert out.columns == ["a", "b"]
+    assert out.n_rows == 0
+
+
+def test_file_round_trip(tmp_path):
+    frame = Frame({"x": [1.0, 2.0, 3.0]})
+    path = tmp_path / "data.csv"
+    write_csv(frame, path)
+    assert read_csv(path) == frame
+
+
+def test_precision_preserved():
+    frame = Frame({"a": [1.23456789012]})
+    out = frame_from_csv_string(frame_to_csv_string(frame))
+    assert abs(out["a"][0] - 1.23456789012) < 1e-11

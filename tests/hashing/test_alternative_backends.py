@@ -1,0 +1,153 @@
+"""Unit tests for the related-work signature backends (paper §V-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    FeatureHasher,
+    MetaFeatureExtractor,
+    QuantileSketch,
+    SampleCompressor,
+)
+
+NEW_METHODS = ("fhash", "quantile", "meta")
+
+
+class TestFeatureHasher:
+    def test_signature_dimension(self):
+        hasher = FeatureHasher(d=24, seed=0)
+        out = hasher.compress(np.random.default_rng(0).normal(size=100))
+        assert out.shape == (24,)
+
+    def test_deterministic(self):
+        column = np.random.default_rng(1).normal(size=60)
+        a = FeatureHasher(d=16, seed=3).compress(column)
+        b = FeatureHasher(d=16, seed=3).compress(column)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_hash(self):
+        column = np.random.default_rng(1).normal(size=60)
+        a = FeatureHasher(d=16, seed=3).compress(column)
+        b = FeatureHasher(d=16, seed=4).compress(column)
+        assert not np.array_equal(a, b)
+
+    def test_empty_token_set(self):
+        np.testing.assert_array_equal(
+            FeatureHasher(d=4, seed=0).signature_of_tokens(np.array([], dtype=int)),
+            np.zeros(4),
+        )
+
+    def test_similar_columns_similar_sketches(self):
+        rng = np.random.default_rng(2)
+        hasher = FeatureHasher(d=64, seed=0)
+        base = rng.normal(size=300)
+        near = base + rng.normal(0, 0.01, 300)
+        far = rng.normal(size=300)
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+        sig = hasher.compress(base)
+        assert cos(sig, hasher.compress(near)) > cos(sig, hasher.compress(far))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(d=0)
+
+
+class TestQuantileSketch:
+    def test_dimension(self):
+        sketch = QuantileSketch(d=10)
+        assert sketch.compress(np.random.default_rng(0).normal(size=50)).shape == (10,)
+
+    def test_monotone_output(self):
+        out = QuantileSketch(d=16).compress(np.random.default_rng(1).normal(size=200))
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_bounded_in_unit_interval(self):
+        out = QuantileSketch(d=8).compress(np.array([5.0, 9.0, -2.0, 7.0]))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_constant_column(self):
+        np.testing.assert_array_equal(
+            QuantileSketch(d=4).compress(np.full(10, 3.0)), 0.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(d=4).compress(np.array([]))
+
+    def test_needs_two_quantiles(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(d=1)
+
+    def test_scale_invariant(self):
+        column = np.random.default_rng(3).normal(size=100)
+        a = QuantileSketch(d=8).compress(column)
+        b = QuantileSketch(d=8).compress(column * 100.0 + 7.0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestMetaFeatureExtractor:
+    def test_base_descriptor_count(self):
+        extractor = MetaFeatureExtractor(d=16)
+        base = extractor.describe(np.random.default_rng(0).normal(size=100))
+        assert base.shape == (MetaFeatureExtractor.N_BASE,)
+
+    def test_truncates_to_small_d(self):
+        out = MetaFeatureExtractor(d=5).compress(np.arange(20.0))
+        assert out.shape == (5,)
+
+    def test_pads_to_large_d(self):
+        out = MetaFeatureExtractor(d=48).compress(np.arange(20.0))
+        assert out.shape == (48,)
+        # Padding is cyclic repetition of the base descriptors.
+        np.testing.assert_array_equal(out[:16], out[16:32])
+
+    def test_constant_column_finite(self):
+        out = MetaFeatureExtractor(d=16).compress(np.full(30, 2.0))
+        assert np.isfinite(out).all()
+
+    def test_nan_inputs_handled(self):
+        out = MetaFeatureExtractor(d=16).compress(
+            np.array([1.0, np.nan, np.inf, 2.0] * 5)
+        )
+        assert np.isfinite(out).all()
+
+    def test_distinguishes_shapes(self):
+        rng = np.random.default_rng(4)
+        extractor = MetaFeatureExtractor(d=16)
+        gaussian = extractor.describe(rng.normal(size=500))
+        heavy = extractor.describe(rng.standard_cauchy(size=500))
+        # Kurtosis descriptor (index 3) separates the distributions.
+        assert abs(heavy[3]) > abs(gaussian[3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetaFeatureExtractor(d=8).describe(np.array([]))
+
+
+@pytest.mark.parametrize("method", NEW_METHODS)
+class TestCompressorIntegration:
+    def test_backend_available_in_compressor(self, method):
+        compressor = SampleCompressor(method, d=16, seed=0)
+        column = np.random.default_rng(0).normal(size=80)
+        out = compressor.compress_column(column)
+        assert out.shape == (16,)
+        assert np.isfinite(out).all()
+
+    def test_matrix_orientation(self, method):
+        X = np.random.default_rng(1).normal(size=(60, 3))
+        out = SampleCompressor(method, d=8, seed=0).compress_matrix(X)
+        assert out.shape == (3, 8)
+
+    def test_similarity_self_is_high(self, method):
+        compressor = SampleCompressor(method, d=32, seed=0)
+        column = np.random.default_rng(2).normal(size=100)
+        assert compressor.similarity(column, column) >= 0.99
+
+    def test_similarity_in_unit_interval(self, method):
+        compressor = SampleCompressor(method, d=32, seed=0)
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        assert 0.0 <= compressor.similarity(a, b) <= 1.0

@@ -1,0 +1,110 @@
+"""Unit + property tests for the SampleCompressor (paper Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import SAMPLER_NAMES, SampleCompressor
+
+ALL_METHODS = list(SAMPLER_NAMES) + ["minhash"]
+
+
+class TestNormalization:
+    def test_unit_interval(self):
+        out = SampleCompressor.normalize_column(np.array([5.0, 10.0, 7.5]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_column(self):
+        out = SampleCompressor.normalize_column(np.full(5, 3.0))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_nonfinite_handled(self):
+        out = SampleCompressor.normalize_column(np.array([np.nan, 1.0, np.inf]))
+        assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestCompressColumn:
+    def test_fixed_output_size_for_any_input_size(self, method):
+        compressor = SampleCompressor(method, d=24, seed=0)
+        for n in (10, 100, 5000):
+            column = np.random.default_rng(n).normal(size=n)
+            assert compressor.compress_column(column).shape == (24,)
+
+    def test_output_finite(self, method):
+        compressor = SampleCompressor(method, d=16, seed=0)
+        column = np.array([1.0, np.nan, np.inf, -5.0] * 10)
+        assert np.isfinite(compressor.compress_column(column)).all()
+
+    def test_deterministic(self, method):
+        compressor = SampleCompressor(method, d=8, seed=1)
+        column = np.random.default_rng(0).normal(size=50)
+        np.testing.assert_array_equal(
+            compressor.compress_column(column), compressor.compress_column(column)
+        )
+
+    def test_empty_rejected(self, method):
+        with pytest.raises(ValueError):
+            SampleCompressor(method, d=8).compress_column(np.array([]))
+
+
+class TestCompressMatrix:
+    def test_orientation_features_become_rows(self):
+        X = np.random.default_rng(0).normal(size=(200, 7))
+        out = SampleCompressor("ccws", d=16, seed=0).compress_matrix(X)
+        assert out.shape == (7, 16)
+
+    def test_1d_input_promoted(self):
+        out = SampleCompressor("ccws", d=8, seed=0).compress_matrix(
+            np.random.default_rng(0).normal(size=30)
+        )
+        assert out.shape == (1, 8)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            SampleCompressor("ccws").compress_matrix(np.zeros((2, 2, 2)))
+
+    def test_same_column_same_row(self):
+        X = np.random.default_rng(1).normal(size=(100, 2))
+        X[:, 1] = X[:, 0]
+        out = SampleCompressor("icws", d=16, seed=0).compress_matrix(X)
+        np.testing.assert_array_equal(out[0], out[1])
+
+
+class TestSimilarityPreservation:
+    """The Eq. 2 requirement: compression approximately preserves sim."""
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_self_similarity_is_one(self, method):
+        compressor = SampleCompressor(method, d=64, seed=0)
+        column = np.random.default_rng(0).normal(size=200)
+        assert compressor.similarity(column, column) == 1.0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_noisy_copy_more_similar_than_shuffled(self, method):
+        rng = np.random.default_rng(2)
+        compressor = SampleCompressor(method, d=256, seed=0)
+        base = rng.uniform(size=400)
+        noisy = base + rng.normal(0, 0.01, 400)
+        shuffled = rng.permutation(base)
+        assert compressor.similarity(base, noisy) > compressor.similarity(
+            base, shuffled
+        )
+
+    def test_similarity_monotone_in_noise(self):
+        rng = np.random.default_rng(3)
+        compressor = SampleCompressor("ccws", d=512, seed=0)
+        base = rng.uniform(size=300)
+        similarities = [
+            compressor.similarity(base, base + rng.normal(0, sigma, 300))
+            for sigma in (0.001, 0.05, 0.5)
+        ]
+        assert similarities[0] > similarities[1] > similarities[2]
+
+    @given(st.integers(min_value=5, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_signature_size_independent_of_sample_count(self, n):
+        compressor = SampleCompressor("ccws", d=32, seed=0)
+        column = np.random.default_rng(n).normal(size=n)
+        assert compressor.compress_column(column).shape == (32,)

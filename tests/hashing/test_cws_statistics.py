@@ -1,0 +1,57 @@
+"""Statistical tests on the CWS estimators (larger-sample checks).
+
+Complementary to test_cws.py's unit tests: these verify estimator
+*quality* — concentration with signature length, and correct relative
+ordering of similarity estimates across a gradient of perturbations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import ICWS, SampleCompressor, generalized_jaccard
+
+
+class TestConcentration:
+    def test_estimator_variance_shrinks_with_d(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(size=120)
+        b = np.clip(a + rng.normal(0, 0.2, 120), 0, None)
+        truth = generalized_jaccard(a, b)
+
+        def errors(d, n_trials=8):
+            out = []
+            for trial in range(n_trials):
+                sampler = ICWS(d=d, seed=100 + trial)
+                sig_a, _ = sampler.signature(a)
+                sig_b, _ = sampler.signature(b)
+                out.append(abs(float(np.mean(sig_a == sig_b)) - truth))
+            return np.mean(out)
+
+        assert errors(512) < errors(16) + 0.02
+
+    def test_similarity_ordering_over_noise_gradient(self):
+        rng = np.random.default_rng(1)
+        compressor = SampleCompressor("icws", d=512, seed=0)
+        base = rng.uniform(size=300)
+        sims = []
+        for sigma in (0.0, 0.05, 0.2, 0.8):
+            noisy = np.clip(base + rng.normal(0, sigma, 300), 0, None)
+            sims.append(compressor.similarity(base, noisy))
+        assert sims[0] == pytest.approx(1.0)
+        assert sims == sorted(sims, reverse=True)
+
+    def test_collision_rate_tracks_gj_across_pairs(self):
+        # Across many random pairs, the element-collision estimate and
+        # true generalized Jaccard must be strongly rank-correlated.
+        rng = np.random.default_rng(2)
+        sampler = ICWS(d=256, seed=0)
+        estimates, truths = [], []
+        for _ in range(12):
+            a = rng.uniform(size=100)
+            b = np.clip(a + rng.normal(0, rng.uniform(0.01, 1.0), 100), 0, None)
+            sig_a, _ = sampler.signature(a)
+            sig_b, _ = sampler.signature(b)
+            estimates.append(float(np.mean(sig_a == sig_b)))
+            truths.append(generalized_jaccard(a, b))
+        correlation = np.corrcoef(estimates, truths)[0, 1]
+        assert correlation > 0.8

@@ -1,0 +1,122 @@
+"""Unit + property tests for classic MinHash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import MinHasher, jaccard, signature_similarity
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard(np.array([1, 2]), np.array([2, 3])) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(np.array([], dtype=int), np.array([], dtype=int)) == 1.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard(np.array([1, 1, 2]), np.array([1, 2, 2])) == 1.0
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        hasher = MinHasher(d=32, seed=0)
+        assert hasher.signature(np.random.default_rng(0).normal(size=50)).shape == (32,)
+
+    def test_deterministic(self):
+        column = np.random.default_rng(1).normal(size=100)
+        a = MinHasher(d=16, seed=5).signature(column)
+        b = MinHasher(d=16, seed=5).signature(column)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_signature(self):
+        column = np.random.default_rng(1).normal(size=100)
+        a = MinHasher(d=16, seed=5).signature(column)
+        b = MinHasher(d=16, seed=6).signature(column)
+        assert not np.array_equal(a, b)
+
+    def test_identical_columns_identical_signatures(self):
+        hasher = MinHasher(d=24, seed=0)
+        column = np.random.default_rng(2).normal(size=80)
+        assert signature_similarity(
+            hasher.signature(column), hasher.signature(column.copy())
+        ) == 1.0
+
+    def test_similar_columns_more_similar_than_random(self):
+        rng = np.random.default_rng(3)
+        hasher = MinHasher(d=128, seed=0)
+        base = rng.normal(size=300)
+        noisy = base + rng.normal(0, 0.01, 300)
+        other = rng.normal(size=300)
+        sim_noisy = signature_similarity(hasher.signature(base), hasher.signature(noisy))
+        sim_other = signature_similarity(hasher.signature(base), hasher.signature(other))
+        assert sim_noisy > sim_other + 0.3
+
+    def test_collision_rate_estimates_jaccard(self):
+        # The core MinHash guarantee: E[collisions] = J(A, B).
+        rng = np.random.default_rng(4)
+        hasher = MinHasher(d=2048, seed=0)
+        tokens_a = rng.choice(10_000, size=400, replace=False)
+        # Overlap exactly half the tokens.
+        tokens_b = np.concatenate(
+            [tokens_a[:200], rng.choice(10_000, size=200, replace=False) + 20_000]
+        )
+        estimate = signature_similarity(
+            hasher.signature_of_tokens(tokens_a),
+            hasher.signature_of_tokens(tokens_b),
+        )
+        truth = jaccard(tokens_a, tokens_b)
+        assert abs(estimate - truth) < 0.05
+
+    def test_compress_in_unit_interval(self):
+        hasher = MinHasher(d=16, seed=0)
+        out = hasher.compress(np.random.default_rng(0).normal(size=100))
+        assert out.min() >= 0.0 and out.max() < 1.0
+
+    def test_handles_nan_and_inf(self):
+        column = np.array([1.0, np.nan, np.inf, -np.inf, 2.0] * 10)
+        signature = MinHasher(d=8, seed=0).signature(column)
+        assert signature.shape == (8,)
+
+    def test_empty_token_set(self):
+        hasher = MinHasher(d=4, seed=0)
+        np.testing.assert_array_equal(
+            hasher.signature_of_tokens(np.array([], dtype=int)), np.zeros(4)
+        )
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            MinHasher(d=0)
+
+    def test_token_out_of_range(self):
+        hasher = MinHasher(d=4, seed=0)
+        with pytest.raises(ValueError):
+            hasher.signature_of_tokens(np.array([2**40]))
+
+    def test_signature_similarity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            signature_similarity(np.zeros(4), np.zeros(5))
+
+    def test_signature_similarity_empty(self):
+        with pytest.raises(ValueError):
+            signature_similarity(np.zeros(0), np.zeros(0))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=4,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_signature_is_total_function(self, values):
+        signature = MinHasher(d=8, seed=0).signature(np.array(values))
+        assert signature.shape == (8,)
+        assert (signature >= 0).all()

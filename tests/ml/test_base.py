@@ -1,0 +1,121 @@
+"""Unit tests for estimator base utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaseEstimator,
+    DecisionTreeClassifier,
+    check_matrix,
+    check_X_y,
+    clone,
+    sanitize_matrix,
+)
+from repro.ml.optim import SGD, Adam
+
+
+class _Dummy(BaseEstimator):
+    def __init__(self, alpha: float = 1.0, beta: str = "x") -> None:
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestBaseEstimator:
+    def test_get_params(self):
+        assert _Dummy(2.0, "y").get_params() == {"alpha": 2.0, "beta": "y"}
+
+    def test_set_params(self):
+        model = _Dummy().set_params(alpha=5.0)
+        assert model.alpha == 5.0
+
+    def test_set_unknown_param(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            _Dummy().set_params(gamma=1)
+
+    def test_clone_is_unfitted_copy(self):
+        tree = DecisionTreeClassifier(max_depth=3, seed=9)
+        tree.fit(np.array([[0.0], [1.0]]), np.array([0, 1]))
+        copy = clone(tree)
+        assert copy.max_depth == 3 and copy.seed == 9
+        assert copy.n_features_ is None
+
+    def test_repr_shows_params(self):
+        assert "alpha=1.0" in repr(_Dummy())
+
+
+class TestValidation:
+    def test_check_matrix_promotes_1d(self):
+        assert check_matrix([1.0, 2.0]).shape == (2, 1)
+
+    def test_check_matrix_rejects_nan_by_default(self):
+        with pytest.raises(ValueError, match="NaN or inf"):
+            check_matrix([[np.nan]])
+
+    def test_check_matrix_allows_nan_when_asked(self):
+        out = check_matrix([[np.nan]], allow_nonfinite=True)
+        assert np.isnan(out[0, 0])
+
+    def test_check_matrix_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_matrix(np.empty((0, 3)))
+
+    def test_check_X_y_alignment(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_X_y(np.zeros((3, 1)), np.zeros(4))
+
+    def test_check_X_y_rejects_nan_target(self):
+        with pytest.raises(ValueError, match="target"):
+            check_X_y(np.zeros((2, 1)), [1.0, np.nan])
+
+    def test_sanitize_replaces_nonfinite(self):
+        out = sanitize_matrix(np.array([[np.nan, np.inf, -np.inf, 1.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 0.0, 1.0]])
+
+    def test_sanitize_clips(self):
+        out = sanitize_matrix(np.array([[1e20]]), clip=1e6)
+        assert out[0, 0] == 1e6
+
+    def test_sanitize_does_not_mutate_input(self):
+        original = np.array([[np.nan]])
+        sanitize_matrix(original)
+        assert np.isnan(original[0, 0])
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        w = np.array([5.0])
+        optimizer = SGD(lr=0.1)
+        for _ in range(100):
+            optimizer.step([w], [2.0 * w])
+        assert abs(w[0]) < 1e-3
+
+    def test_sgd_momentum_descends(self):
+        w = np.array([5.0])
+        optimizer = SGD(lr=0.05, momentum=0.9)
+        for _ in range(100):
+            optimizer.step([w], [2.0 * w])
+        assert abs(w[0]) < 0.1
+
+    def test_adam_descends_quadratic(self):
+        w = np.array([5.0])
+        optimizer = Adam(lr=0.1)
+        for _ in range(300):
+            optimizer.step([w], [2.0 * w])
+        assert abs(w[0]) < 1e-2
+
+    def test_adam_multiple_params(self):
+        a, b = np.array([3.0]), np.array([-2.0])
+        optimizer = Adam(lr=0.1)
+        for _ in range(300):
+            optimizer.step([a, b], [2.0 * a, 2.0 * b])
+        assert abs(a[0]) < 1e-2 and abs(b[0]) < 1e-2
+
+    def test_mismatched_grads(self):
+        with pytest.raises(ValueError):
+            Adam().step([np.zeros(1)], [])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=-1.0)

@@ -1,0 +1,144 @@
+"""Unit + property tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import metrics
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert metrics.accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_none_correct(self):
+        assert metrics.accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_half(self):
+        assert metrics.accuracy_score([1, 0], [1, 1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy_score([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy_score([], [])
+
+
+class TestPrecisionRecallF1:
+    def test_binary_precision(self):
+        # predictions: 1,1,0 -> tp=1 (index0), fp=1 (index1)
+        assert metrics.precision_score([1, 0, 1], [1, 1, 0], average="binary") == 0.5
+
+    def test_binary_recall(self):
+        assert metrics.recall_score([1, 0, 1], [1, 1, 0], average="binary") == 0.5
+
+    def test_binary_f1_harmonic_identity(self):
+        y_true = [1, 0, 1, 1, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p = metrics.precision_score(y_true, y_pred, average="binary")
+        r = metrics.recall_score(y_true, y_pred, average="binary")
+        f = metrics.f1_score(y_true, y_pred, average="binary")
+        assert f == pytest.approx(2 * p * r / (p + r))
+
+    def test_zero_division_precision(self):
+        # No positive predictions -> precision defined as 0.
+        assert metrics.precision_score([1, 1], [0, 0], average="binary") == 0.0
+
+    def test_zero_division_f1(self):
+        assert metrics.f1_score([1, 1], [0, 0], average="binary") == 0.0
+
+    def test_macro_f1_multiclass_perfect(self):
+        assert metrics.f1_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_macro_averages_over_union_of_labels(self):
+        # Label 2 appears only in predictions -> contributes zero F1.
+        score = metrics.f1_score([0, 0, 1, 1], [0, 0, 1, 2])
+        assert 0.0 < score < 1.0
+
+    def test_weighted_ignores_unsupported_labels(self):
+        # Weighted average weights by true support, so spurious label 2
+        # (support 0) does not drag the score down.
+        weighted = metrics.f1_score([0, 0, 1, 1], [0, 0, 1, 2], average="weighted")
+        macro = metrics.f1_score([0, 0, 1, 1], [0, 0, 1, 2], average="macro")
+        assert weighted > macro
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError, match="unknown average"):
+            metrics.f1_score([0], [0], average="micro-ish")
+
+    def test_noninteger_labels(self):
+        assert metrics.f1_score([1.5, 2.5], [1.5, 2.5]) == 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounded(self, a, b):
+        n = min(len(a), len(b))
+        score = metrics.f1_score(a[:n], b[:n])
+        assert 0.0 <= score <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_perfect_on_identical(self, labels):
+        assert metrics.f1_score(labels, labels) == pytest.approx(1.0)
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert metrics.mean_squared_error([0, 0], [1, 1]) == 1.0
+
+    def test_mae(self):
+        assert metrics.mean_absolute_error([0, 0], [2, 0]) == 1.0
+
+    def test_r2_perfect(self):
+        assert metrics.r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert metrics.r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert metrics.r2_score([2, 2], [2, 2]) == 0.0
+
+    def test_rae_of_mean_predictor_is_one(self):
+        y = np.array([1.0, 2.0, 3.0, 10.0])
+        rae = metrics.relative_absolute_error(y, np.full(4, y.mean()))
+        assert rae == pytest.approx(1.0)
+
+    def test_one_minus_rae_perfect(self):
+        assert metrics.one_minus_rae([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_one_minus_rae_constant_target_exact(self):
+        assert metrics.relative_absolute_error([5, 5], [5, 5]) == 0.0
+
+    def test_one_minus_rae_constant_target_wrong(self):
+        assert metrics.relative_absolute_error([5, 5], [1, 1]) == 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_one_minus_rae_at_most_one(self, y):
+        pred = np.zeros(len(y))
+        assert metrics.one_minus_rae(y, pred) <= 1.0 + 1e-12
+
+
+class TestScoreForTask:
+    def test_classification_dispatch(self):
+        assert metrics.score_for_task("C", [0, 1], [0, 1]) == 1.0
+
+    def test_regression_dispatch(self):
+        assert metrics.score_for_task("R", [1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            metrics.score_for_task("X", [0], [0])

@@ -1,0 +1,142 @@
+"""Unit tests for KFold / StratifiedKFold / cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    KFold,
+    StratifiedKFold,
+    accuracy_score,
+    cross_val_mean,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_covers_all_indices_exactly_once(self):
+        splitter = KFold(n_splits=4, seed=0)
+        seen = []
+        for _, test in splitter.split(21):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(21))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(3, seed=1).split(10):
+            assert not set(train) & set(test)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+    def test_deterministic_under_seed(self):
+        a = [t.tolist() for _, t in KFold(3, seed=7).split(12)]
+        b = [t.tolist() for _, t in KFold(3, seed=7).split(12)]
+        assert a == b
+
+    def test_no_shuffle_is_contiguous(self):
+        _, first_test = next(iter(KFold(2, shuffle=False).split(10)))
+        assert first_test.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestStratifiedKFold:
+    def test_preserves_class_ratio(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test in StratifiedKFold(5, seed=0).split(y):
+            labels = y[test]
+            assert np.sum(labels == 1) == 2
+
+    def test_all_indices_used(self):
+        y = np.array([0, 1] * 10)
+        seen = []
+        for _, test in StratifiedKFold(4, seed=0).split(y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_rare_class_distributed(self):
+        # Class 1 has 2 members for 2 splits -> one per test fold.
+        y = np.array([0] * 8 + [1] * 2)
+        for _, test in StratifiedKFold(2, seed=0).split(y):
+            assert np.sum(y[test] == 1) == 1
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25)
+        assert len(X_test) == 5
+        assert len(X_train) == 15
+        assert len(y_train) == 15 and len(y_test) == 5
+
+    def test_partition_is_exact(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        X_train, X_test, _, _ = train_test_split(X, y, test_size=0.3, seed=3)
+        combined = sorted(X_train[:, 0].tolist() + X_test[:, 0].tolist())
+        assert combined == X[:, 0].tolist()
+
+    def test_bad_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=1.5)
+
+    def test_stratified_keeps_both_classes(self):
+        X = np.zeros((20, 1))
+        y = np.array([0] * 16 + [1] * 4)
+        _, _, y_train, y_test = train_test_split(
+            X, y, test_size=0.25, stratify=True
+        )
+        assert 1 in y_train and 1 in y_test
+
+
+class TestCrossValScore:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 4))
+        y = (X[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_returns_one_score_per_fold(self):
+        X, y = self._data()
+        tree = DecisionTreeClassifier(max_depth=3)
+        scores = cross_val_score(tree, X, y, accuracy_score, n_splits=4)
+        assert scores.shape == (4,)
+
+    def test_scores_reasonable_on_learnable_task(self):
+        X, y = self._data()
+        tree = DecisionTreeClassifier(max_depth=3)
+        assert cross_val_mean(tree, X, y, accuracy_score) > 0.85
+
+    def test_estimator_not_mutated(self):
+        X, y = self._data()
+        tree = DecisionTreeClassifier(max_depth=3)
+        cross_val_score(tree, X, y, accuracy_score)
+        assert tree.n_features_ is None  # original never fitted
+
+    def test_deterministic(self):
+        X, y = self._data()
+        tree = DecisionTreeClassifier(max_depth=3, seed=5)
+        a = cross_val_score(tree, X, y, accuracy_score, seed=2)
+        b = cross_val_score(tree, X, y, accuracy_score, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stratified_with_singleton_class_falls_back(self):
+        # One class has a single member; stratified CV cannot keep it in
+        # every training fold, so it must fall back rather than crash.
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.array([0] * 29 + [1])
+        tree = DecisionTreeClassifier(max_depth=2)
+        scores = cross_val_score(
+            tree, X, y, accuracy_score, n_splits=3, stratified=True
+        )
+        assert scores.shape == (3,)
+
+    def test_too_few_samples(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError):
+            cross_val_score(tree, np.zeros((1, 1)), np.zeros(1), accuracy_score)

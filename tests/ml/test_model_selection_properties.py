@@ -1,0 +1,89 @@
+"""Hypothesis property tests for splitters and CV plumbing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KFold, StratifiedKFold, train_test_split
+
+
+class TestKFoldProperties:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=8, max_value=200),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_properties(self, k, n, seed):
+        if n < k:
+            return
+        seen = []
+        for train, test in KFold(k, seed=seed).split(n):
+            assert len(set(train) & set(test)) == 0
+            assert len(train) + len(test) == n
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=20, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fold_sizes_balanced(self, k, n):
+        sizes = [len(test) for _, test in KFold(k, seed=0).split(n)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStratifiedKFoldProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=40, max_value=200),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_class_ratio_approximately_preserved(self, k, rate, n, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(n) < rate).astype(int)
+        if len(np.unique(y)) < 2 or min(np.bincount(y)) < k:
+            return
+        overall = y.mean()
+        for _, test in StratifiedKFold(k, seed=seed).split(y):
+            fold_rate = y[test].mean()
+            assert abs(fold_rate - overall) < 0.25
+
+    @given(st.integers(min_value=16, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_all_indices_covered(self, n):
+        y = np.arange(n) % 2
+        seen = []
+        for _, test in StratifiedKFold(4, seed=0).split(y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+
+class TestTrainTestSplitProperties:
+    @given(
+        st.integers(min_value=10, max_value=200),
+        st.floats(min_value=0.1, max_value=0.5),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_exact(self, n, test_size, seed):
+        X = np.arange(2 * n, dtype=float).reshape(n, 2)
+        y = np.arange(n, dtype=float)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_size=test_size, seed=seed
+        )
+        assert len(X_train) + len(X_test) == n
+        combined = sorted(y_train.tolist() + y_test.tolist())
+        assert combined == y.tolist()
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, seed):
+        X = np.arange(60, dtype=float).reshape(30, 2)
+        y = np.arange(30, dtype=float)
+        a = train_test_split(X, y, seed=seed)
+        b = train_test_split(X, y, seed=seed)
+        np.testing.assert_array_equal(a[1], b[1])

@@ -1,0 +1,229 @@
+"""Unit tests for linear models, naive Bayes, GP, MLP, and ResNet."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    RTDLN,
+    GaussianNB,
+    GaussianProcessRegressor,
+    LinearSVC,
+    LogisticRegression,
+    MLPClassifier,
+    MLPRegressor,
+    Ridge,
+    TabularResNet,
+    accuracy_score,
+    one_minus_rae,
+)
+
+
+def _linear_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (2 * X[:, 0] - X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        X, y = _linear_data()
+        model = LogisticRegression(n_iter=300).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_proba_in_unit_interval(self):
+        X, y = _linear_data()
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass_one_vs_rest(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 2))
+        y = np.digitize(X[:, 0], [-0.7, 0.7])
+        model = LogisticRegression(n_iter=300).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_single_class_training_fold(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.ones(10)
+        model = LogisticRegression().fit(X, y)
+        assert set(model.predict(X)) == {1.0}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((2, 2)))
+
+
+class TestLinearSVC:
+    def test_learns_linear_boundary(self):
+        X, y = _linear_data(400)
+        model = LinearSVC(n_iter=500, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        y = np.digitize(X[:, 1], [-0.7, 0.7])
+        model = LinearSVC(n_iter=800, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.8
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0)
+
+    def test_single_class(self):
+        X = np.zeros((5, 2))
+        model = LinearSVC().fit(X, np.full(5, 3.0))
+        assert set(model.predict(X)) == {3.0}
+
+
+class TestRidge:
+    def test_recovers_linear_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = 3.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5
+        model = Ridge(alpha=1e-6).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-6)
+
+    def test_alpha_shrinks_weights(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([5.0, -3.0, 2.0])
+        loose = Ridge(alpha=1e-9).fit(X, y)._weights
+        tight = Ridge(alpha=100.0).fit(X, y)._weights
+        assert np.linalg.norm(tight[:-1]) < np.linalg.norm(loose[:-1])
+
+    def test_negative_alpha(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+
+
+class TestGaussianNB:
+    def test_separated_gaussians(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-3, 1, (100, 2)), rng.normal(3, 1, (100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        model = GaussianNB().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.98
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.column_stack([np.ones(20), np.arange(20)])
+        y = (np.arange(20) > 9).astype(int)
+        model = GaussianNB().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_proba_normalized(self):
+        X, y = _linear_data()
+        proba = GaussianNB().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_mismatch(self):
+        X, y = _linear_data(30)
+        model = GaussianNB().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 7)))
+
+
+class TestGaussianProcess:
+    def test_interpolates_smooth_function(self):
+        X = np.linspace(0, 4, 60).reshape(-1, 1)
+        y = np.sin(X[:, 0])
+        model = GaussianProcessRegressor(alpha=1e-4).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=0.05)
+
+    def test_subsamples_large_input(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(2000, 2))
+        y = X[:, 0]
+        model = GaussianProcessRegressor(max_points=100, seed=0).fit(X, y)
+        assert model._X.shape[0] == 100
+
+    def test_reverts_to_mean_far_away(self):
+        X = np.zeros((10, 1))
+        y = np.full(10, 5.0)
+        model = GaussianProcessRegressor().fit(X, y)
+        far = model.predict(np.full((1, 1), 100.0))
+        assert far[0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(length_scale=0.0)
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(alpha=0.0)
+
+
+class TestMLP:
+    def test_classifier_learns_xor_interaction(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(int)
+        model = MLPClassifier(hidden_sizes=(32,), n_epochs=80, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_classifier_proba_normalized(self):
+        X, y = _linear_data()
+        proba = MLPClassifier(n_epochs=10).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_regressor_learns_quadratic(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 1))
+        y = X[:, 0] ** 2
+        model = MLPRegressor(hidden_sizes=(32,), n_epochs=120, seed=0).fit(X, y)
+        assert one_minus_rae(y, model.predict(X)) > 0.8
+
+    def test_deterministic_under_seed(self):
+        X, y = _linear_data()
+        a = MLPClassifier(n_epochs=5, seed=3).fit(X, y).predict_proba(X)
+        b = MLPClassifier(n_epochs=5, seed=3).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+
+class TestResNetAndRTDLN:
+    def test_resnet_classifier_learns(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 3))
+        y = (X[:, 0] + X[:, 1] ** 2 > 1).astype(int)
+        model = TabularResNet(task="C", n_epochs=40, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_resnet_regressor_learns(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = X[:, 0] * X[:, 1]
+        model = TabularResNet(task="R", n_epochs=60, seed=0).fit(X, y)
+        assert one_minus_rae(y, model.predict(X)) > 0.5
+
+    def test_transform_shape(self):
+        X, y = _linear_data(100)
+        model = TabularResNet(task="C", width=16, n_epochs=5).fit(X, y)
+        assert model.transform(X).shape == (100, 16)
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            TabularResNet(task="Z")
+
+    def test_rtdln_end_to_end(self):
+        X, y = _linear_data(150)
+        model = RTDLN(task="C", n_epochs=10, width=16, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.7
+
+    def test_rtdln_regression(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 2))
+        y = X[:, 0]
+        model = RTDLN(task="R", n_epochs=10, width=16, seed=0).fit(X, y)
+        assert one_minus_rae(y, model.predict(X)) > 0.3
+
+    def test_proba_requires_classification(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 2))
+        model = TabularResNet(task="R", n_epochs=2).fit(X, X[:, 0])
+        with pytest.raises(RuntimeError):
+            model.predict_proba(X)

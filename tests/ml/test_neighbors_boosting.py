@@ -1,0 +1,139 @@
+"""Unit tests for KNN and gradient boosting models."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    KNeighborsClassifier,
+    KNeighborsRegressor,
+    accuracy_score,
+    one_minus_rae,
+)
+
+
+def _blobs(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(-2, 0.5, (n // 2, 2)), rng.normal(2, 0.5, (n // 2, 2))])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestKNeighborsClassifier:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.98
+
+    def test_k_one_memorizes_training_set(self):
+        X, y = _blobs(60)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        np.testing.assert_array_equal(model.predict(X), y)
+
+    def test_k_larger_than_dataset_clamped(self):
+        X, y = _blobs(10)
+        model = KNeighborsClassifier(n_neighbors=100).fit(X, y)
+        predictions = model.predict(X)
+        assert len(predictions) == 10
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict(np.zeros((2, 2)))
+
+    def test_feature_mismatch(self):
+        X, y = _blobs(20)
+        model = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_nan_query_handled(self):
+        X, y = _blobs(40)
+        model = KNeighborsClassifier().fit(X, y)
+        query = X.copy()
+        query[0, 0] = np.nan
+        assert len(model.predict(query)) == 40
+
+
+class TestKNeighborsRegressor:
+    def test_learns_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-3, 3, size=(300, 1))
+        y = np.sin(X[:, 0])
+        model = KNeighborsRegressor(n_neighbors=5).fit(X, y)
+        assert one_minus_rae(y, model.predict(X)) > 0.9
+
+    def test_prediction_is_neighbor_mean(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2, standardize=False).fit(X, y)
+        # Query at 0.4: nearest two rows are 0.0 and 1.0 -> mean 1.0.
+        assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+
+
+class TestGradientBoostingRegressor:
+    def test_fits_nonlinear_target(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = X[:, 0] ** 2 + X[:, 1]
+        model = GradientBoostingRegressor(n_estimators=60, seed=0).fit(X, y)
+        assert one_minus_rae(y, model.predict(X)) > 0.9
+
+    def test_more_estimators_fit_train_better(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(200, 2))
+        y = X[:, 0] * X[:, 1]
+        weak = GradientBoostingRegressor(n_estimators=5, seed=0).fit(X, y)
+        strong = GradientBoostingRegressor(n_estimators=80, seed=0).fit(X, y)
+        weak_err = np.mean((weak.predict(X) - y) ** 2)
+        strong_err = np.mean((strong.predict(X) - y) ** 2)
+        assert strong_err < weak_err
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 1)))
+
+
+class TestGradientBoostingClassifier:
+    def test_binary_blobs(self):
+        X, y = _blobs()
+        model = GradientBoostingClassifier(n_estimators=20, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.97
+
+    def test_learns_interaction(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(int)
+        model = GradientBoostingClassifier(n_estimators=40, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_proba_normalized(self):
+        X, y = _blobs()
+        proba = GradientBoostingClassifier(n_estimators=10).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 2))
+        y = np.digitize(X[:, 0], [-0.7, 0.7])
+        model = GradientBoostingClassifier(n_estimators=30, seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_single_class(self):
+        X = np.zeros((10, 2))
+        model = GradientBoostingClassifier().fit(X, np.ones(10))
+        assert set(model.predict(X)) == {1.0}
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict_proba(np.zeros((1, 1)))

@@ -1,0 +1,175 @@
+"""Unit + property tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    LabelEncoder,
+    MeanImputer,
+    MinMaxScaler,
+    QuantileBinner,
+    StandardScaler,
+)
+
+finite_matrix = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=20),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        X = np.array([[1.0], [3.0], [5.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_custom_range(self):
+        out = MinMaxScaler(-1.0, 1.0).fit_transform(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(out.ravel(), [-1.0, 1.0])
+
+    def test_constant_column_maps_to_lower_bound(self):
+        out = MinMaxScaler().fit_transform(np.array([[7.0], [7.0]]))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(1.0, 0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 1)))
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        # Round-trip is exact only for non-constant columns.
+        restored = scaler.inverse_transform(scaler.transform(X))
+        span = X.max(axis=0) - X.min(axis=0)
+        varying = span > 0
+        np.testing.assert_allclose(
+            restored[:, varying], X[:, varying], rtol=1e-9, atol=1e-6
+        )
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_bounds(self, X):
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= -1e-9 and out.max() <= 1.0 + 1e-9
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).normal(5.0, 3.0, size=(200, 2))
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_becomes_zero(self):
+        out = StandardScaler().fit_transform(np.full((5, 1), 3.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, X):
+        scaler = StandardScaler().fit(X)
+        restored = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(restored, X, rtol=1e-9, atol=1e-6)
+
+
+class TestLabelEncoder:
+    def test_contiguous_codes(self):
+        codes = LabelEncoder().fit_transform(["b", "a", "b", "c"])
+        assert codes.tolist() == [1, 0, 1, 2]
+
+    def test_inverse(self):
+        encoder = LabelEncoder().fit([10, 20, 30])
+        np.testing.assert_array_equal(
+            encoder.inverse_transform([2, 0]), [30, 10]
+        )
+
+    def test_unknown_label_raises(self):
+        encoder = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValueError, match="not seen"):
+            encoder.transform([3])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LabelEncoder().fit([])
+
+    def test_out_of_range_inverse(self):
+        encoder = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValueError):
+            encoder.inverse_transform([5])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, labels):
+        encoder = LabelEncoder().fit(labels)
+        np.testing.assert_array_equal(
+            encoder.inverse_transform(encoder.transform(labels)), labels
+        )
+
+
+class TestMeanImputer:
+    def test_fills_nan_with_mean(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        out = MeanImputer().fit_transform(X)
+        assert out[1, 0] == 2.0
+
+    def test_fills_inf(self):
+        X = np.array([[1.0], [np.inf], [3.0]])
+        out = MeanImputer().fit_transform(X)
+        assert out[1, 0] == 2.0
+
+    def test_all_nonfinite_column_filled_with_zero(self):
+        X = np.array([[np.nan], [np.inf]])
+        out = MeanImputer().fit_transform(X)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_output_always_finite(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(20, 3))
+        X[rng.random(size=X.shape) < 0.3] = np.nan
+        assert np.isfinite(MeanImputer().fit_transform(X)).all()
+
+    def test_clean_input_unchanged(self):
+        X = np.arange(6, dtype=float).reshape(3, 2)
+        np.testing.assert_array_equal(MeanImputer().fit_transform(X), X)
+
+
+class TestQuantileBinner:
+    def test_bins_bounded(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        bins = QuantileBinner(n_bins=4).fit_transform(X)
+        assert bins.min() >= 0 and bins.max() <= 3
+
+    def test_roughly_equal_mass(self):
+        X = np.linspace(0, 1, 1000).reshape(-1, 1)
+        bins = QuantileBinner(n_bins=4).fit_transform(X)
+        counts = np.bincount(bins.ravel())
+        assert counts.min() > 200
+
+    def test_constant_column_single_bin(self):
+        bins = QuantileBinner(n_bins=4).fit_transform(np.full((10, 1), 2.0))
+        assert len(np.unique(bins)) == 1
+
+    def test_too_few_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(n_bins=1)
+
+    def test_column_count_mismatch(self):
+        binner = QuantileBinner().fit(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            binner.transform(np.zeros((10, 3)))
+
+    def test_monotone_in_input(self):
+        X = np.random.default_rng(3).normal(size=(50, 1))
+        binner = QuantileBinner(n_bins=8).fit(X)
+        order = np.argsort(X[:, 0])
+        binned = binner.transform(X)[order, 0]
+        assert (np.diff(binned) >= 0).all()

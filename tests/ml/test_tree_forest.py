@@ -1,0 +1,212 @@
+"""Unit + property tests for decision trees and random forests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    accuracy_score,
+)
+
+
+def _binary_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_separable_data_perfectly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), y)
+
+    def test_respects_max_depth(self):
+        X, y = _binary_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_depth_zero_like_single_leaf_when_pure(self):
+        X = np.zeros((5, 2))
+        y = np.ones(5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_min_samples_leaf(self):
+        X, y = _binary_data(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+        # Every leaf distribution came from >= 10 samples; indirectly,
+        # the tree must be small.
+        assert tree.n_nodes < 12
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _binary_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_constant_features_single_node(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.9
+
+    def test_string_free_noninteger_labels(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([2.5, 7.5])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {2.5, 7.5}
+
+    def test_feature_count_mismatch_at_predict(self):
+        X, y = _binary_data(30)
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 9)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_rejects_nan_training_data(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.array([[np.nan]]), np.array([1]))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_deeper_trees_never_lose_training_accuracy(self, depth):
+        X, y = _binary_data(100, seed=3)
+        shallow = DecisionTreeClassifier(max_depth=depth, seed=1).fit(X, y)
+        deeper = DecisionTreeClassifier(max_depth=depth + 2, seed=1).fit(X, y)
+        acc_shallow = accuracy_score(y, shallow.predict(X))
+        acc_deeper = accuracy_score(y, deeper.predict(X))
+        assert acc_deeper >= acc_shallow - 1e-12
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y)
+
+    def test_prediction_within_target_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = rng.uniform(-2, 7, size=100)
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_constant_target_single_node(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(20, 3.3))
+        assert tree.n_nodes == 1
+        np.testing.assert_allclose(tree.predict(X), 3.3)
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 4))
+        y = X[:, 0] ** 2
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.depth <= 3
+
+
+class TestRandomForestClassifier:
+    def test_beats_chance(self):
+        X, y = _binary_data(300)
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.9
+
+    def test_proba_sums_to_one(self):
+        X, y = _binary_data()
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+        np.testing.assert_allclose(forest.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = _binary_data()
+        a = RandomForestClassifier(n_estimators=5, seed=42).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, seed=42).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        X, y = _binary_data(400, seed=9)
+        a = RandomForestClassifier(n_estimators=3, seed=1).fit(X, y).predict_proba(X)
+        b = RandomForestClassifier(n_estimators=3, seed=2).fit(X, y).predict_proba(X)
+        assert not np.allclose(a, b)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = _binary_data()
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_feature_importances_identify_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 5))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert np.argmax(forest.feature_importances_) == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((2, 2)))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_handles_nan_at_predict_time(self):
+        # Generated features can be NaN at inference; routing treats
+        # NaN comparisons as False (goes right) instead of crashing.
+        X, y = _binary_data(50)
+        forest = RandomForestClassifier(n_estimators=3, seed=0).fit(X, y)
+        X_bad = X.copy()
+        X_bad[0, 0] = np.nan
+        predictions = forest.predict(X_bad)
+        assert len(predictions) == 50
+
+
+class TestRandomForestRegressor:
+    def test_learns_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 1))
+        y = X[:, 0] ** 2
+        forest = RandomForestRegressor(n_estimators=10, seed=0).fit(X, y)
+        residual = np.mean((forest.predict(X) - y) ** 2)
+        assert residual < 0.1
+
+    def test_prediction_in_convex_hull_of_targets(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = rng.uniform(0, 1, size=100)
+        forest = RandomForestRegressor(n_estimators=5, seed=0).fit(X, y)
+        predictions = forest.predict(X)
+        assert predictions.min() >= 0.0 and predictions.max() <= 1.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(80, 2))
+        y = X[:, 0]
+        a = RandomForestRegressor(n_estimators=4, seed=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=4, seed=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,153 @@
+"""Unit + property tests for canonical-expression parsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Frame
+from repro.operators import (
+    GeneratedFeature,
+    compose,
+    default_registry,
+    expression_depth,
+    parse_expression,
+)
+
+
+FRAME = Frame(
+    {
+        "f1": [1.0, 4.0, 9.0],
+        "f2": [2.0, 2.0, 2.0],
+        "f3": [-1.0, 0.0, 3.0],
+    }
+)
+
+
+class TestParsing:
+    def test_leaf(self):
+        expression = parse_expression("f1")
+        assert expression.is_leaf
+        assert expression.columns() == {"f1"}
+        assert expression.depth() == 1
+
+    def test_unary(self):
+        expression = parse_expression("sqrt(f1)")
+        assert not expression.is_leaf
+        assert expression.operator.name == "sqrt"
+        assert expression.depth() == 2
+
+    def test_binary(self):
+        expression = parse_expression("mul(f1,f2)")
+        assert expression.columns() == {"f1", "f2"}
+
+    def test_nested(self):
+        expression = parse_expression("div(add(f1,f2),log(f3))")
+        assert expression.depth() == 3
+        assert expression.columns() == {"f1", "f2", "f3"}
+
+    def test_round_trip_str(self):
+        name = "div(add(f1,f2),log(f3))"
+        assert str(parse_expression(name)) == name
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("mul(f1,f2")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            parse_expression("pow(f1,f2)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="operand"):
+            parse_expression("sqrt(f1,f2)")
+        with pytest.raises(ValueError, match="operand"):
+            parse_expression("mul(f1)")
+
+    def test_stray_comma_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("f1,f2")
+
+    def test_custom_registry(self):
+        from repro.operators import Operator, OperatorRegistry
+
+        registry = OperatorRegistry(
+            [Operator("neg", 1, lambda a: -np.asarray(a))]
+        )
+        expression = parse_expression("neg(x)", registry)
+        assert expression.operator.name == "neg"
+
+
+class TestEvaluation:
+    def test_leaf_returns_column(self):
+        np.testing.assert_array_equal(
+            parse_expression("f1").evaluate(FRAME), [1.0, 4.0, 9.0]
+        )
+
+    def test_unary_evaluation(self):
+        np.testing.assert_allclose(
+            parse_expression("sqrt(f1)").evaluate(FRAME), [1.0, 2.0, 3.0]
+        )
+
+    def test_binary_evaluation(self):
+        np.testing.assert_allclose(
+            parse_expression("mul(f1,f2)").evaluate(FRAME), [2.0, 8.0, 18.0]
+        )
+
+    def test_nested_evaluation(self):
+        out = parse_expression("add(mul(f1,f2),f3)").evaluate(FRAME)
+        np.testing.assert_allclose(out, [1.0, 8.0, 21.0])
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError, match="needs column"):
+            parse_expression("zz").evaluate(FRAME)
+
+    def test_safe_semantics_preserved(self):
+        # div by 0 -> 0, matching the engine's operator semantics.
+        frame = Frame({"a": [1.0], "b": [0.0]})
+        assert parse_expression("div(a,b)").evaluate(frame)[0] == 0.0
+
+    def test_depth_helper(self):
+        assert expression_depth("f1") == 1
+        assert expression_depth("log(minmax(f1))") == 3
+
+
+class TestComposeParityProperty:
+    """parse(compose(...).name).evaluate == compose(...).values."""
+
+    @given(
+        st.sampled_from(["log", "minmax", "sqrt", "recip"]),
+        st.sampled_from(["add", "sub", "mul", "div", "mod"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parse_evaluate_matches_compose(self, unary_name, binary_name):
+        registry = default_registry()
+        rng = np.random.default_rng(0)
+        frame = Frame({"x": rng.normal(size=20), "y": rng.normal(size=20)})
+        a = GeneratedFeature("x", frame["x"])
+        b = GeneratedFeature("y", frame["y"])
+        combined = compose(registry.by_name(binary_name), a, b)
+        final = compose(registry.by_name(unary_name), combined)
+        replayed = parse_expression(final.name, registry).evaluate(frame)
+        np.testing.assert_allclose(replayed, final.values, rtol=1e-12, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_random_composition_chain(self, seed):
+        registry = default_registry()
+        rng = np.random.default_rng(seed)
+        frame = Frame({"x": rng.normal(size=15), "y": rng.normal(size=15)})
+        feature = GeneratedFeature("x", frame["x"])
+        other = GeneratedFeature("y", frame["y"])
+        for _ in range(3):
+            operator = registry.by_index(int(rng.integers(0, len(registry))))
+            if operator.arity == 1:
+                feature = compose(operator, feature)
+            else:
+                feature = compose(operator, feature, other)
+        replayed = parse_expression(feature.name, registry).evaluate(frame)
+        np.testing.assert_allclose(replayed, feature.values, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,183 @@
+"""Unit tests for the operator registry and high-order composer."""
+
+import numpy as np
+import pytest
+
+from repro.operators import (
+    FeatureSubgroup,
+    GeneratedFeature,
+    Operator,
+    OperatorRegistry,
+    compose,
+    default_registry,
+)
+
+
+class TestOperator:
+    def test_unary_apply(self):
+        op = Operator("neg", 1, lambda a: -np.asarray(a))
+        np.testing.assert_array_equal(op.apply(np.array([1.0])), [-1.0])
+
+    def test_binary_apply(self):
+        op = Operator("plus", 2, lambda a, b: np.asarray(a) + np.asarray(b))
+        np.testing.assert_array_equal(op.apply(np.array([1.0]), np.array([2.0])), [3.0])
+
+    def test_binary_missing_operand(self):
+        op = Operator("plus", 2, lambda a, b: a + b)
+        with pytest.raises(ValueError, match="two operands"):
+            op.apply(np.array([1.0]))
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            Operator("bad", 3, lambda a: a)
+
+    def test_describe_unary(self):
+        op = Operator("log", 1, lambda a: a)
+        assert op.describe("f1") == "log(f1)"
+
+    def test_describe_binary(self):
+        op = Operator("mul", 2, lambda a, b: a)
+        assert op.describe("f1", "f2") == "mul(f1,f2)"
+
+
+class TestDefaultRegistry:
+    def test_has_nine_paper_operators(self):
+        registry = default_registry()
+        assert len(registry) == 9
+        assert registry.names == [
+            "log", "minmax", "sqrt", "recip",
+            "add", "sub", "mul", "div", "mod",
+        ]
+
+    def test_unary_binary_partition(self):
+        registry = default_registry()
+        assert registry.unary_indices == [0, 1, 2, 3]
+        assert registry.binary_indices == [4, 5, 6, 7, 8]
+
+    def test_by_index(self):
+        assert default_registry().by_index(6).name == "mul"
+
+    def test_by_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            default_registry().by_index(99)
+
+    def test_by_name(self):
+        assert default_registry().by_name("div").arity == 2
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            default_registry().by_name("pow")
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Operator("log", 1, lambda a: a))
+
+    def test_custom_operator_extension(self):
+        registry = default_registry()
+        registry.register(Operator("square", 1, lambda a: np.asarray(a) ** 2))
+        assert "square" in registry
+        assert len(registry) == 10
+
+
+class TestGeneratedFeature:
+    def test_original_feature_order_one(self):
+        feature = GeneratedFeature("f1", np.array([1.0, 2.0]))
+        assert feature.order == 1
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            GeneratedFeature("f1", np.array([1.0]), order=0)
+
+    def test_degenerate_constant(self):
+        assert GeneratedFeature("c", np.full(5, 2.0)).is_degenerate()
+
+    def test_degenerate_nonfinite(self):
+        assert GeneratedFeature("c", np.array([1.0, np.nan])).is_degenerate()
+
+    def test_not_degenerate(self):
+        assert not GeneratedFeature("f", np.array([1.0, 2.0])).is_degenerate()
+
+
+class TestCompose:
+    def _features(self):
+        a = GeneratedFeature("f1", np.array([1.0, 4.0]))
+        b = GeneratedFeature("f2", np.array([2.0, 2.0]))
+        return a, b
+
+    def test_binary_composition(self):
+        a, b = self._features()
+        out = compose(default_registry().by_name("mul"), a, b)
+        assert out.name == "mul(f1,f2)"
+        np.testing.assert_array_equal(out.values, [2.0, 8.0])
+        assert out.order == 2
+
+    def test_unary_composition(self):
+        a, _ = self._features()
+        out = compose(default_registry().by_name("sqrt"), a)
+        assert out.name == "sqrt(f1)"
+        assert out.order == 2
+
+    def test_order_accumulates(self):
+        a, b = self._features()
+        registry = default_registry()
+        first = compose(registry.by_name("add"), a, b)
+        second = compose(registry.by_name("log"), first)
+        third = compose(registry.by_name("mul"), second, a)
+        assert (first.order, second.order, third.order) == (2, 3, 4)
+
+    def test_origin_tracks_root(self):
+        a, b = self._features()
+        out = compose(default_registry().by_name("add"), a, b)
+        assert out.origin == "f1"
+        deeper = compose(default_registry().by_name("log"), out)
+        assert deeper.origin == "f1"
+
+    def test_binary_needs_two(self):
+        a, _ = self._features()
+        with pytest.raises(ValueError):
+            compose(default_registry().by_name("add"), a)
+
+    def test_sample_count_mismatch(self):
+        a = GeneratedFeature("f1", np.array([1.0, 2.0]))
+        b = GeneratedFeature("f2", np.array([1.0]))
+        with pytest.raises(ValueError):
+            compose(default_registry().by_name("add"), a, b)
+
+
+class TestFeatureSubgroup:
+    def _subgroup(self, max_members=8):
+        root = GeneratedFeature("f1", np.arange(5.0))
+        return FeatureSubgroup(root, max_members=max_members)
+
+    def test_starts_with_root(self):
+        group = self._subgroup()
+        assert len(group) == 1
+        assert "f1" in group.names
+
+    def test_add_new_member(self):
+        group = self._subgroup()
+        assert group.add(GeneratedFeature("log(f1)", np.arange(5.0)))
+        assert len(group) == 2
+
+    def test_duplicate_rejected(self):
+        group = self._subgroup()
+        group.add(GeneratedFeature("log(f1)", np.arange(5.0)))
+        assert not group.add(GeneratedFeature("log(f1)", np.arange(5.0)))
+
+    def test_capacity_enforced(self):
+        group = self._subgroup(max_members=2)
+        group.add(GeneratedFeature("a", np.arange(5.0)))
+        assert not group.add(GeneratedFeature("b", np.arange(5.0)))
+
+    def test_sample_operands_unary(self):
+        group = self._subgroup()
+        first, second = group.sample_operands(np.random.default_rng(0), arity=1)
+        assert second is None
+        assert first.name in group.names
+
+    def test_sample_operands_binary_with_replacement(self):
+        group = self._subgroup()
+        # With only one member, sampling with replacement must return it twice.
+        first, second = group.sample_operands(np.random.default_rng(0), arity=2)
+        assert first.name == "f1" and second.name == "f1"

@@ -1,0 +1,141 @@
+"""Unit + property tests for the safe operator implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.operators import (
+    add,
+    min_max_normalize,
+    multiply,
+    safe_divide,
+    safe_log,
+    safe_modulo,
+    safe_reciprocal,
+    safe_sqrt,
+    subtract,
+)
+
+any_column = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=50),
+    elements=st.floats(allow_nan=True, allow_infinity=True, width=64),
+)
+finite_column = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=50),
+    elements=st.floats(min_value=-1e8, max_value=1e8, allow_nan=False),
+)
+
+
+class TestUnaryKnownValues:
+    def test_log_of_e(self):
+        np.testing.assert_allclose(safe_log(np.array([np.e])), 1.0)
+
+    def test_log_of_negative_uses_magnitude(self):
+        np.testing.assert_allclose(safe_log(np.array([-np.e])), 1.0)
+
+    def test_log_of_zero_is_zero(self):
+        assert safe_log(np.array([0.0]))[0] == 0.0
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(safe_sqrt(np.array([9.0, -9.0])), [3.0, 3.0])
+
+    def test_reciprocal(self):
+        np.testing.assert_allclose(safe_reciprocal(np.array([4.0])), 0.25)
+
+    def test_reciprocal_of_zero_is_zero(self):
+        assert safe_reciprocal(np.array([0.0]))[0] == 0.0
+
+    def test_minmax_range(self):
+        out = min_max_normalize(np.array([2.0, 4.0, 6.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_minmax_constant(self):
+        np.testing.assert_array_equal(min_max_normalize(np.full(4, 7.0)), 0.0)
+
+    def test_minmax_all_nan(self):
+        np.testing.assert_array_equal(
+            min_max_normalize(np.array([np.nan, np.nan])), 0.0
+        )
+
+
+class TestBinaryKnownValues:
+    def test_add(self):
+        np.testing.assert_array_equal(add([1.0], [2.0]), [3.0])
+
+    def test_subtract(self):
+        np.testing.assert_array_equal(subtract([5.0], [2.0]), [3.0])
+
+    def test_multiply(self):
+        np.testing.assert_array_equal(multiply([3.0], [4.0]), [12.0])
+
+    def test_divide(self):
+        np.testing.assert_array_equal(safe_divide([8.0], [2.0]), [4.0])
+
+    def test_divide_by_zero_is_zero(self):
+        np.testing.assert_array_equal(safe_divide([8.0], [0.0]), [0.0])
+
+    def test_modulo(self):
+        np.testing.assert_array_equal(safe_modulo([7.0], [3.0]), [1.0])
+
+    def test_modulo_by_zero_is_zero(self):
+        np.testing.assert_array_equal(safe_modulo([7.0], [0.0]), [0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            add([1.0, 2.0], [1.0])
+
+    def test_overflow_mapped_to_zero(self):
+        out = multiply([1e308], [1e308])
+        assert out[0] == 0.0
+
+
+class TestTotalityProperties:
+    """Every operator must return finite output for any input."""
+
+    @given(any_column)
+    @settings(max_examples=60, deadline=None)
+    def test_unary_always_finite(self, column):
+        for fn in (safe_log, safe_sqrt, safe_reciprocal, min_max_normalize):
+            assert np.isfinite(fn(column)).all()
+
+    @given(any_column, any_column)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_always_finite(self, a, b):
+        n = min(len(a), len(b))
+        for fn in (add, subtract, multiply, safe_divide, safe_modulo):
+            assert np.isfinite(fn(a[:n], b[:n])).all()
+
+    @given(finite_column)
+    @settings(max_examples=40, deadline=None)
+    def test_subtract_self_is_zero(self, column):
+        np.testing.assert_array_equal(subtract(column, column), 0.0)
+
+    @given(finite_column)
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutative(self, column):
+        reversed_column = column[::-1].copy()
+        np.testing.assert_array_equal(
+            add(column, reversed_column), add(reversed_column, column)
+        )
+
+    @given(finite_column)
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_bounded(self, column):
+        out = min_max_normalize(column)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @given(finite_column)
+    @settings(max_examples=40, deadline=None)
+    def test_divide_self_is_one_or_zero(self, column):
+        out = safe_divide(column, column)
+        assert set(np.round(out, 9).tolist()) <= {0.0, 1.0}
+
+    @given(finite_column)
+    @settings(max_examples=40, deadline=None)
+    def test_sqrt_squares_back(self, column):
+        out = safe_sqrt(column)
+        np.testing.assert_allclose(out**2, np.abs(column), rtol=1e-9, atol=1e-9)

@@ -1,0 +1,162 @@
+"""Unit tests for the recurrent agent and the multi-agent controller."""
+
+import numpy as np
+import pytest
+
+from repro.rl import MultiAgentController, RecurrentPolicyAgent, TrajectoryStep
+
+STATE = np.array([0.5, 0.2, 0.1, 0.0])
+
+
+def _agent(**kwargs):
+    defaults = {"n_actions": 4, "state_dim": 4, "seed": 0}
+    defaults.update(kwargs)
+    return RecurrentPolicyAgent(**defaults)
+
+
+class TestRecurrentPolicyAgent:
+    def test_initial_distribution_uniform(self):
+        agent = _agent()
+        np.testing.assert_allclose(agent.h, 0.25)
+
+    def test_distribution_is_probability(self):
+        agent = _agent()
+        probabilities = agent.distribution(STATE)
+        assert probabilities.min() >= 0.0
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_distribution_recurrent_dependence(self):
+        # Feeding the same state twice gives different h because h_{t-1}
+        # changed — the RNN carries history.
+        agent = _agent()
+        first = agent.distribution(STATE).copy()
+        second = agent.distribution(STATE)
+        assert not np.allclose(first, second)
+
+    def test_reset_hidden_restores_uniform(self):
+        agent = _agent()
+        agent.distribution(STATE)
+        agent.reset_hidden()
+        np.testing.assert_allclose(agent.h, 0.25)
+
+    def test_act_in_range(self):
+        agent = _agent()
+        for _ in range(20):
+            assert 0 <= agent.act(STATE) < 4
+
+    def test_state_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            _agent().distribution(np.zeros(7))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RecurrentPolicyAgent(n_actions=1, state_dim=3)
+        with pytest.raises(ValueError):
+            RecurrentPolicyAgent(n_actions=3, state_dim=0)
+
+    def test_positive_advantage_raises_action_probability(self):
+        agent = _agent(entropy_coef=0.0)
+        action = 2
+        before = agent.distribution(STATE)[action]
+        for _ in range(30):
+            agent.update(STATE, action, advantage=1.0)
+        agent.reset_hidden()
+        after = agent.distribution(STATE)[action]
+        assert after > before
+
+    def test_negative_advantage_lowers_action_probability(self):
+        agent = _agent(entropy_coef=0.0)
+        action = 1
+        before = agent.distribution(STATE)[action]
+        for _ in range(30):
+            agent.update(STATE, action, advantage=-1.0)
+        agent.reset_hidden()
+        after = agent.distribution(STATE)[action]
+        assert after < before
+
+    def test_update_rejects_bad_action(self):
+        with pytest.raises(ValueError):
+            _agent().update(STATE, 9, 1.0)
+
+    def test_update_rejects_nonfinite_advantage(self):
+        with pytest.raises(ValueError):
+            _agent().update(STATE, 0, np.nan)
+
+    def test_bias_toward(self):
+        agent = _agent()
+        agent.bias_toward(3, strength=5.0)
+        probabilities = agent.distribution(STATE)
+        assert np.argmax(probabilities) == 3
+
+    def test_bias_invalid_action(self):
+        with pytest.raises(ValueError):
+            _agent().bias_toward(9)
+
+    def test_greedy_action_is_argmax(self):
+        agent = _agent()
+        agent.bias_toward(1, strength=10.0)
+        assert agent.greedy_action(STATE) == 1
+
+    def test_parameter_norm_positive(self):
+        assert _agent().parameter_norm() > 0.0
+
+    def test_update_returns_finite_loss(self):
+        loss = _agent().update(STATE, 0, 0.5)
+        assert np.isfinite(loss)
+
+
+class TestMultiAgentController:
+    def _controller(self, n_agents=3):
+        return MultiAgentController(
+            n_agents=n_agents, n_actions=4, state_dim=4, seed=0
+        )
+
+    def test_one_agent_per_feature(self):
+        assert len(self._controller(5).agents) == 5
+
+    def test_agents_have_distinct_seeds(self):
+        controller = self._controller(2)
+        a = controller.action_distribution(0, STATE)
+        b = controller.action_distribution(1, STATE)
+        assert not np.allclose(a, b)
+
+    def test_act_validates_index(self):
+        with pytest.raises(IndexError):
+            self._controller().act(9, STATE)
+
+    def test_update_empty_trajectories(self):
+        with pytest.raises(ValueError):
+            self._controller().update_from_trajectories([])
+
+    def test_update_shifts_policy_toward_rewarded_action(self):
+        controller = self._controller(1)
+        rewarded_action = 2
+        for _ in range(40):
+            steps = [
+                TrajectoryStep(0, STATE.copy(), rewarded_action, reward=1.0),
+                TrajectoryStep(0, STATE.copy(), 0, reward=-1.0),
+            ]
+            controller.update_from_trajectories(steps)
+        controller.reset_episode()
+        probabilities = controller.action_distribution(0, STATE)
+        assert probabilities[rewarded_action] > probabilities[0]
+
+    def test_reset_episode(self):
+        controller = self._controller(2)
+        controller.action_distribution(0, STATE)
+        controller.reset_episode()
+        np.testing.assert_allclose(controller.agents[0].h, 0.25)
+
+    def test_bias_agent(self):
+        controller = self._controller(2)
+        controller.bias_agent(1, 3, strength=10.0)
+        assert np.argmax(controller.action_distribution(1, STATE)) == 3
+
+    def test_update_returns_mean_loss(self):
+        controller = self._controller(1)
+        steps = [TrajectoryStep(0, STATE.copy(), 1, reward=0.5)]
+        assert np.isfinite(controller.update_from_trajectories(steps))
+
+    def test_invalid_agent_count(self):
+        with pytest.raises(ValueError):
+            MultiAgentController(n_agents=0, n_actions=4, state_dim=4)

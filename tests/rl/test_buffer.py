@@ -1,0 +1,93 @@
+"""Unit tests for the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.operators import GeneratedFeature
+from repro.rl import ReplayBuffer, Transition
+
+
+def _transition(agent=0, action=1, reward=0.5, name="mul(f1,f1)"):
+    feature = GeneratedFeature(name, np.arange(4.0), order=2)
+    return Transition(
+        agent_index=agent, action_index=action, feature=feature, reward=reward
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=4)
+        buffer.push(_transition())
+        assert len(buffer) == 1
+
+    def test_capacity_fifo(self):
+        buffer = ReplayBuffer(capacity=2)
+        buffer.push(_transition(reward=0.1, name="a"))
+        buffer.push(_transition(reward=0.2, name="b"))
+        buffer.push(_transition(reward=0.3, name="c"))
+        assert len(buffer) == 2
+        names = [t.feature.name for t in buffer]
+        assert names == ["b", "c"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_sample_from_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            ReplayBuffer().sample(1, np.random.default_rng(0))
+
+    def test_sample_size_validation(self):
+        buffer = ReplayBuffer()
+        buffer.push(_transition())
+        with pytest.raises(ValueError):
+            buffer.sample(0, np.random.default_rng(0))
+
+    def test_sample_returns_requested_count(self):
+        buffer = ReplayBuffer()
+        for i in range(5):
+            buffer.push(_transition(reward=float(i), name=f"t{i}"))
+        out = buffer.sample(10, np.random.default_rng(0))
+        assert len(out) == 10
+
+    def test_weighted_sampling_prefers_high_reward(self):
+        buffer = ReplayBuffer()
+        buffer.push(_transition(reward=0.0, name="bad"))
+        buffer.push(_transition(reward=10.0, name="good"))
+        rng = np.random.default_rng(0)
+        names = [t.feature.name for t in buffer.sample(200, rng)]
+        assert names.count("good") > 150
+
+    def test_unweighted_sampling_roughly_uniform(self):
+        buffer = ReplayBuffer()
+        buffer.push(_transition(reward=0.0, name="a"))
+        buffer.push(_transition(reward=10.0, name="b"))
+        rng = np.random.default_rng(0)
+        names = [
+            t.feature.name for t in buffer.sample(400, rng, weighted=False)
+        ]
+        assert 120 < names.count("a") < 280
+
+    def test_best(self):
+        buffer = ReplayBuffer()
+        for reward in (0.3, 0.9, 0.1):
+            buffer.push(_transition(reward=reward, name=f"r{reward}"))
+        top = buffer.best(2)
+        assert [t.reward for t in top] == [0.9, 0.3]
+
+    def test_best_invalid_n(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer().best(0)
+
+    def test_per_agent_counts(self):
+        buffer = ReplayBuffer()
+        buffer.push(_transition(agent=0))
+        buffer.push(_transition(agent=0, name="x"))
+        buffer.push(_transition(agent=3, name="y"))
+        assert buffer.per_agent_counts() == {0: 2, 3: 1}
+
+    def test_clear(self):
+        buffer = ReplayBuffer()
+        buffer.push(_transition())
+        buffer.clear()
+        assert buffer.is_empty

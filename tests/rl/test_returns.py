@@ -1,0 +1,175 @@
+"""Unit + property tests for return computations (Eqs. 9-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl import (
+    accumulated_returns,
+    discounted_returns,
+    forward_lambda_returns,
+    lambda_return,
+    score_gains,
+)
+
+rewards_strategy = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestScoreGains:
+    def test_diff(self):
+        np.testing.assert_allclose(score_gains([0.5, 0.6, 0.55]), [0.1, -0.05])
+
+    def test_needs_two_scores(self):
+        with pytest.raises(ValueError):
+            score_gains([0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            score_gains([0.5, np.nan])
+
+
+class TestAccumulatedReturns:
+    def test_gamma_zero_is_identity(self):
+        np.testing.assert_allclose(
+            accumulated_returns([1.0, 2.0, 3.0], gamma=0.0), [1.0, 2.0, 3.0]
+        )
+
+    def test_gamma_one_is_cumsum(self):
+        np.testing.assert_allclose(
+            accumulated_returns([1.0, 2.0, 3.0], gamma=1.0), [1.0, 3.0, 6.0]
+        )
+
+    def test_literal_equation_nine(self):
+        # U_t = sum_{k<=t} gamma^(t-k) r_k, checked by hand for t=2.
+        gamma = 0.5
+        rewards = [1.0, 2.0, 4.0]
+        returns = accumulated_returns(rewards, gamma)
+        expected_u2 = gamma**2 * 1.0 + gamma**1 * 2.0 + gamma**0 * 4.0
+        assert returns[2] == pytest.approx(expected_u2)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            accumulated_returns([1.0], gamma=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accumulated_returns([], gamma=0.9)
+
+    @given(rewards_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_recursion_invariant(self, rewards, gamma):
+        returns = accumulated_returns(rewards, gamma)
+        for t in range(1, len(rewards)):
+            assert returns[t] == pytest.approx(
+                gamma * returns[t - 1] + rewards[t], abs=1e-9
+            )
+
+
+class TestDiscountedReturns:
+    def test_terminal_step_equals_last_reward(self):
+        returns = discounted_returns([1.0, 2.0, 5.0], gamma=0.9)
+        assert returns[-1] == 5.0
+
+    def test_bellman_recursion(self):
+        returns = discounted_returns([1.0, 2.0, 5.0], gamma=0.9)
+        assert returns[0] == pytest.approx(1.0 + 0.9 * returns[1])
+
+    @given(rewards_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_recursion_invariant(self, rewards, gamma):
+        returns = discounted_returns(rewards, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(
+                rewards[t] + gamma * returns[t + 1], abs=1e-9
+            )
+
+    @given(rewards_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_positive_rewards_give_positive_returns(self, rewards):
+        positive = [abs(r) + 0.1 for r in rewards]
+        assert (discounted_returns(positive, 0.9) > 0).all()
+
+
+class TestForwardLambdaReturns:
+    def test_lambda_one_is_discounted_return(self):
+        rewards = [1.0, -0.5, 2.0]
+        np.testing.assert_allclose(
+            forward_lambda_returns(rewards, gamma=0.9, lam=1.0),
+            discounted_returns(rewards, gamma=0.9),
+        )
+
+    def test_lambda_zero_is_immediate_reward(self):
+        rewards = [1.0, -0.5, 2.0]
+        np.testing.assert_allclose(
+            forward_lambda_returns(rewards, gamma=0.9, lam=0.0), rewards
+        )
+
+    def test_terminal_step_is_last_reward(self):
+        out = forward_lambda_returns([1.0, 2.0, 3.0], gamma=0.9, lam=0.5)
+        assert out[-1] == 3.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            forward_lambda_returns([1.0], gamma=0.9, lam=1.5)
+
+    @given(
+        rewards_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recursion_invariant(self, rewards, gamma, lam):
+        out = forward_lambda_returns(rewards, gamma, lam)
+        for t in range(len(rewards) - 1):
+            assert out[t] == pytest.approx(
+                rewards[t] + gamma * lam * out[t + 1], abs=1e-9
+            )
+
+    @given(rewards_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_between_lam_extremes_for_positive(self, rewards, lam):
+        positive = [abs(r) for r in rewards]
+        low = forward_lambda_returns(positive, 0.9, 0.0)
+        high = forward_lambda_returns(positive, 0.9, 1.0)
+        mid = forward_lambda_returns(positive, 0.9, lam)
+        assert ((low - 1e-9 <= mid) & (mid <= high + 1e-9)).all()
+
+
+class TestLambdaReturn:
+    def test_lambda_zero_is_first_return(self):
+        rewards = [1.0, 2.0, 3.0]
+        first = accumulated_returns(rewards, 0.9)[0]
+        assert lambda_return(rewards, gamma=0.9, lam=0.0) == pytest.approx(first)
+
+    def test_single_reward(self):
+        assert lambda_return([2.0], gamma=0.9, lam=0.5) == pytest.approx(
+            (1 - 0.5) * 2.0
+        )
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            lambda_return([1.0], gamma=0.9, lam=1.0)
+
+    @given(
+        rewards_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_finite(self, rewards, gamma, lam):
+        assert np.isfinite(lambda_return(rewards, gamma, lam))
+
+    @given(rewards_strategy, st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_extreme_k_step_returns(self, rewards, lam):
+        # U^lambda is a sub-convex combination of the U_k, so it can
+        # never exceed the largest accumulated return in magnitude.
+        returns = accumulated_returns(rewards, 0.9)
+        value = lambda_return(rewards, gamma=0.9, lam=lam)
+        bound = max(abs(returns.min()), abs(returns.max()))
+        assert abs(value) <= bound + 1e-9

@@ -1,0 +1,150 @@
+"""Failure-injection tests: the engines on pathological inputs.
+
+Every scenario here was chosen because generated features (or messy
+real-world data) produce it routinely: constant columns, extreme
+magnitudes, near-degenerate class balance, tiny datasets, and columns
+that start non-finite.  The contract: no crash, valid scores, and the
+accounting invariants still hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NFS
+from repro.core import (
+    AFEEngine,
+    DownstreamEvaluator,
+    EngineConfig,
+    FPEModel,
+    KeepAllFilter,
+)
+from repro.datasets.generators import TabularTask
+from repro.frame import Frame
+
+
+def _config(**overrides):
+    params = {
+        "n_epochs": 2,
+        "stage1_epochs": 1,
+        "transforms_per_agent": 2,
+        "n_splits": 3,
+        "n_estimators": 3,
+        "max_agents": 4,
+        "two_stage": False,
+        "seed": 0,
+    }
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+def _task(columns: dict, y, task="C", name="pathological") -> TabularTask:
+    return TabularTask(name, task, Frame(columns), np.asarray(y, dtype=float))
+
+
+class TestPathologicalDatasets:
+    def test_constant_feature_column(self):
+        rng = np.random.default_rng(0)
+        task = _task(
+            {
+                "constant": np.full(80, 5.0),
+                "signal": rng.normal(size=80),
+            },
+            (rng.normal(size=80) > 0).astype(float),
+        )
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_extreme_magnitudes(self):
+        rng = np.random.default_rng(1)
+        task = _task(
+            {
+                "huge": rng.normal(size=80) * 1e12,
+                "tiny": rng.normal(size=80) * 1e-12,
+            },
+            (rng.normal(size=80) > 0).astype(float),
+        )
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert np.isfinite(result.best_score)
+
+    def test_severe_class_imbalance(self):
+        rng = np.random.default_rng(2)
+        y = np.zeros(100)
+        y[:4] = 1.0  # 4% positives
+        task = _task({"a": rng.normal(size=100), "b": rng.normal(size=100)}, y)
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_tiny_dataset(self):
+        rng = np.random.default_rng(3)
+        task = _task(
+            {"a": rng.normal(size=12), "b": rng.normal(size=12)},
+            (rng.normal(size=12) > 0).astype(float),
+        )
+        result = NFS(_config()).fit(task)
+        assert result.n_downstream_evaluations >= 1
+
+    def test_many_classes_few_samples(self):
+        rng = np.random.default_rng(4)
+        task = _task(
+            {"a": rng.normal(size=60), "b": rng.normal(size=60)},
+            rng.integers(0, 10, size=60).astype(float),
+        )
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_regression_with_constant_target_region(self):
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=80)
+        y[:40] = 0.0  # half the targets identical
+        task = _task(
+            {"a": rng.normal(size=80), "b": rng.normal(size=80)}, y, task="R"
+        )
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert result.best_score <= 1.0
+
+    def test_duplicated_columns(self):
+        rng = np.random.default_rng(6)
+        column = rng.normal(size=80)
+        task = _task(
+            {"a": column, "b": column.copy(), "c": column.copy()},
+            (column > 0).astype(float),
+        )
+        result = AFEEngine(KeepAllFilter(), _config()).fit(task)
+        assert result.best_score >= result.base_score
+
+
+class TestEvaluatorRobustness:
+    def test_all_nan_column_evaluates(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.normal(size=(60, 3))
+        matrix[:, 1] = np.nan
+        evaluator = DownstreamEvaluator(task="C", n_splits=3, n_estimators=3)
+        score = evaluator.evaluate(matrix, (matrix[:, 0] > 0).astype(float))
+        assert np.isfinite(score)
+
+    def test_inf_heavy_matrix(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.normal(size=(60, 3))
+        matrix[rng.random(matrix.shape) < 0.2] = np.inf
+        evaluator = DownstreamEvaluator(task="R", n_splits=3, n_estimators=3)
+        score = evaluator.evaluate(matrix, rng.normal(size=60))
+        assert np.isfinite(score)
+
+
+class TestFPERobustness:
+    def test_fpe_on_degenerate_columns(self):
+        model = FPEModel(d=8, seed=0)
+        H = np.random.default_rng(0).normal(size=(20, 8))
+        model.fit_signatures(H, (H[:, 0] > 0).astype(int))
+        for column in (
+            np.zeros(50),
+            np.full(50, 1e15),
+            np.array([np.nan] * 50),
+            np.array([np.inf, -np.inf] * 25),
+        ):
+            probability = model.predict_proba(column)
+            assert 0.0 <= probability <= 1.0
+
+    def test_signature_of_single_row_column(self):
+        model = FPEModel(d=8, seed=0)
+        assert model.signature(np.array([3.0])).shape == (8,)
