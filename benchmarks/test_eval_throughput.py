@@ -1,0 +1,104 @@
+"""Evaluation-service throughput: cached vs uncached candidate scoring.
+
+The paper's efficiency argument is evaluations-per-second times
+evaluations-avoided; this micro-benchmark measures both levers of the
+``repro.eval`` layer on a repeated-candidate workload (the same sweep
+scored over several epochs, as engines do when candidates regenerate).
+Emits a ``BENCH_eval_throughput.json``-style dict — set
+``REPRO_BENCH_OUT=<dir>`` to write the file.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.evaluation import DownstreamEvaluator
+from repro.datasets import make_classification
+from repro.eval import EvaluationCache, EvaluationService
+
+N_CANDIDATES = 8
+N_REPEATS = 4
+
+
+def _workload():
+    task = make_classification(n_samples=200, n_features=6, seed=0)
+    base = task.X.to_array()
+    rng = np.random.default_rng(0)
+    columns = [
+        base[:, i % base.shape[1]] * base[:, (i + 1) % base.shape[1]]
+        + rng.normal()
+        for i in range(N_CANDIDATES)
+    ]
+    return task, base, columns
+
+
+def _evaluator():
+    return DownstreamEvaluator(task="C", n_splits=3, n_estimators=5, seed=0)
+
+
+def _measure(service, base, columns, y):
+    started = time.perf_counter()
+    scores = []
+    for _ in range(N_REPEATS):
+        scores.append(service.score_batch(base, columns, y))
+    elapsed = time.perf_counter() - started
+    submissions = N_CANDIDATES * N_REPEATS
+    return {
+        "elapsed_s": elapsed,
+        "n_submissions": submissions,
+        "n_real_fits": service.evaluator.n_evaluations,
+        "cache_hit_rate": service.stats.hit_rate,
+        "scored_per_sec": submissions / max(elapsed, 1e-9),
+        "scores": scores,
+    }
+
+
+def eval_throughput() -> dict:
+    task, base, columns = _workload()
+    uncached = _measure(
+        EvaluationService(_evaluator(), cache=None), base, columns, task.y
+    )
+    cached = _measure(
+        EvaluationService(_evaluator(), cache=EvaluationCache()),
+        base,
+        columns,
+        task.y,
+    )
+    report = {
+        "workload": {
+            "n_samples": task.n_samples,
+            "n_base_features": base.shape[1],
+            "n_candidates": N_CANDIDATES,
+            "n_repeats": N_REPEATS,
+        },
+        "uncached": {k: v for k, v in uncached.items() if k != "scores"},
+        "cached": {k: v for k, v in cached.items() if k != "scores"},
+        "throughput_speedup": (
+            cached["scored_per_sec"] / max(uncached["scored_per_sec"], 1e-9)
+        ),
+        "fits_avoided": uncached["n_real_fits"] - cached["n_real_fits"],
+        "identical_scores": uncached["scores"] == cached["scores"],
+    }
+    return report
+
+
+def test_eval_throughput(benchmark):
+    report = benchmark.pedantic(eval_throughput, rounds=1, iterations=1)
+    print("\nBENCH_eval_throughput: " + json.dumps(report, indent=2))
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if out_dir:
+        path = os.path.join(out_dir, "BENCH_eval_throughput.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    # The uncached path pays a real fit for every submission ...
+    assert report["uncached"]["n_real_fits"] == N_CANDIDATES * N_REPEATS
+    assert report["uncached"]["cache_hit_rate"] == 0.0
+    # ... while the cached path pays once per distinct candidate and
+    # returns bit-identical scores for the rest.
+    assert report["cached"]["n_real_fits"] == N_CANDIDATES
+    assert report["cached"]["cache_hit_rate"] == (N_REPEATS - 1) / N_REPEATS
+    assert report["identical_scores"]
+    assert report["throughput_speedup"] > 1.5
+    assert report["fits_avoided"] == N_CANDIDATES * (N_REPEATS - 1)

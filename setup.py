@@ -10,10 +10,10 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description="E-AFE: efficient automated feature engineering (ICDE 2023 reproduction)",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy", "scipy"],
+    install_requires=["numpy", "scipy", "networkx"],
 )

@@ -30,14 +30,18 @@ from .core import (
     pretrain_fpe,
     tune_fpe,
 )
+from .eval import EvaluationCache, EvaluationService, FeatureMatrixArena
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EAFE",
     "AFEEngine",
     "AFEResult",
     "EngineConfig",
+    "EvaluationCache",
+    "EvaluationService",
+    "FeatureMatrixArena",
     "FPEModel",
     "pretrain_fpe",
     "default_fpe",

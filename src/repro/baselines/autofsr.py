@@ -42,6 +42,7 @@ class AutoFSR(AFEEngine):
         started = time.perf_counter()
         working = self._select_agent_features(task)
         evaluator = self._make_evaluator(working)
+        service = self._make_service(evaluator)
         space = FeatureSpace(
             working,
             max_order=self.config.max_order,
@@ -49,7 +50,7 @@ class AutoFSR(AFEEngine):
             seed=self.config.seed,
         )
         rng = np.random.default_rng(self.config.seed)
-        base_score = evaluator.evaluate(working.X.to_array(), working.y)
+        base_score = service.evaluate(working.X.to_array(), working.y)
         result = AFEResult(
             dataset=task.name,
             method=self.method_name,
@@ -71,10 +72,12 @@ class AutoFSR(AFEEngine):
                     if feature is None:
                         continue
                     result.n_generated += 1
-                    candidate = np.column_stack(
-                        [space.feature_matrix(), feature.values]
+                    score = service.evaluate(
+                        space.trial_matrix(feature.values),
+                        working.y,
+                        base_token=space.matrix_token(),
+                        column=feature.values,
                     )
-                    score = evaluator.evaluate(candidate, working.y)
                     gain = score - current_score
                     selection_value[feature.name] = gain
                     if gain > 0.0:
@@ -95,6 +98,8 @@ class AutoFSR(AFEEngine):
         result.selected_features = best_features
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
+        result.n_cache_hits = service.n_cache_hits
+        result.n_cache_misses = service.n_cache_misses
         name_to_column = {
             feature.name: feature.values
             for group in space.subgroups

@@ -24,6 +24,7 @@ import numpy as np
 from ..core.engine import AFEResult, EngineConfig, EpochRecord
 from ..core.evaluation import DownstreamEvaluator
 from ..datasets.generators import TabularTask
+from ..eval import EvaluationCache, EvaluationService
 from ..hashing.meta_features import MetaFeatureExtractor
 from ..ml.base import sanitize_matrix
 from ..ml.linear import LogisticRegression
@@ -49,6 +50,7 @@ class ExploreKit:
         self.registry: OperatorRegistry = default_registry()
         self.extractor = MetaFeatureExtractor(d=MetaFeatureExtractor.N_BASE)
         self._ranker: LogisticRegression | None = None
+        self.eval_cache = EvaluationCache()
 
     # -- offline ranking model --------------------------------------------
     def pretrain(self, corpus: list[TabularTask]) -> "ExploreKit":
@@ -121,8 +123,11 @@ class ExploreKit:
             n_estimators=self.config.n_estimators,
             seed=self.config.seed,
         )
+        service = EvaluationService.from_config(
+            evaluator, self.config, self.eval_cache
+        )
         matrix = working.X.to_array()
-        base_score = evaluator.evaluate(matrix, working.y)
+        base_score = service.evaluate(matrix, working.y)
         candidates = self._generate_all(working)
         ranked = sorted(
             candidates, key=lambda pair: self._rank_score(pair[1]), reverse=True
@@ -140,13 +145,20 @@ class ExploreKit:
             selected_features=list(current_names),
             n_generated=len(candidates),
         )
+        current_token = service.token(current)
         for step, (name, values) in enumerate(
             ranked[: self.evaluation_budget]
         ):
-            trial = sanitize_matrix(np.column_stack([current, values]))
-            score = evaluator.evaluate(trial, working.y)
+            # score_batch keeps the greedy base materialized in the
+            # service arena, so each trial is an O(n) write; the base
+            # token only changes when a candidate is accepted.
+            score = service.score_batch(
+                current, [values], working.y, base_token=current_token
+            )[0]
             if score > current_score:
-                current, current_score = trial, score
+                current = sanitize_matrix(np.column_stack([current, values]))
+                current_token = service.token(current)
+                current_score = score
                 current_names.append(name)
             if score > best_score:
                 best_score = score
@@ -163,5 +175,7 @@ class ExploreKit:
         result.selected_matrix = current
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
+        result.n_cache_hits = service.n_cache_hits
+        result.n_cache_misses = service.n_cache_misses
         result.wall_time = time.perf_counter() - started
         return result

@@ -89,6 +89,8 @@ class FeThenDl:
             selected_features=fe_result.selected_features,
             history=[EpochRecord(0, elapsed, fe_result.n_downstream_evaluations + 1, score)],
             n_downstream_evaluations=fe_result.n_downstream_evaluations + 1,
+            n_cache_hits=fe_result.n_cache_hits,
+            n_cache_misses=fe_result.n_cache_misses,
             wall_time=elapsed,
         )
 
@@ -102,12 +104,17 @@ class DlThenFe:
         self.config = copy.deepcopy(config) if config is not None else EngineConfig()
 
     def fit(self, task: TabularTask) -> AFEResult:
+        from ..eval import EvaluationCache, EvaluationService
+
         started = time.perf_counter()
         evaluator = DownstreamEvaluator(
             task=task.task,
             n_splits=self.config.n_splits,
             n_estimators=self.config.n_estimators,
             seed=self.config.seed,
+        )
+        service = EvaluationService.from_config(
+            evaluator, self.config, EvaluationCache()
         )
         try:
             body = TabularResNet(
@@ -125,7 +132,7 @@ class DlThenFe:
         budget = min(8, representation.shape[1])
         for j in order[:budget]:
             candidate = selected + [int(j)]
-            score = evaluator.evaluate(representation[:, candidate], task.y)
+            score = service.evaluate(representation[:, candidate], task.y)
             if score > best_score:
                 best_score = score
                 selected = candidate
@@ -141,5 +148,7 @@ class DlThenFe:
                 EpochRecord(0, elapsed, evaluator.n_evaluations, best_score)
             ],
             n_downstream_evaluations=evaluator.n_evaluations,
+            n_cache_hits=service.n_cache_hits,
+            n_cache_misses=service.n_cache_misses,
             wall_time=elapsed,
         )

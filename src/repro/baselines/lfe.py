@@ -24,6 +24,7 @@ import numpy as np
 from ..core.engine import AFEResult, EngineConfig, EpochRecord
 from ..core.evaluation import DownstreamEvaluator
 from ..datasets.generators import TabularTask
+from ..eval import EvaluationCache, EvaluationService
 from ..hashing.quantile_sketch import QuantileSketch
 from ..ml.base import sanitize_matrix
 from ..ml.mlp import MLPClassifier
@@ -46,6 +47,10 @@ class LFE:
         self.sketch = QuantileSketch(d=sketch_dim)
         self.registry: OperatorRegistry = default_registry()
         self._predictors: dict[str, MLPClassifier] = {}
+        self.eval_cache = EvaluationCache()
+
+    def _make_service(self, evaluator: DownstreamEvaluator) -> EvaluationService:
+        return EvaluationService.from_config(evaluator, self.config, self.eval_cache)
 
     # -- offline phase -----------------------------------------------------
     def pretrain(self, corpus: list[TabularTask]) -> "LFE":
@@ -66,8 +71,10 @@ class LFE:
                 n_estimators=self.config.n_estimators,
                 seed=self.config.seed,
             )
+            service = self._make_service(evaluator)
             matrix = task.X.to_array()
-            base = evaluator.evaluate(matrix, task.y)
+            base = service.evaluate(matrix, task.y)
+            base_token = service.token(matrix)
             for name in task.X.columns:
                 column = np.asarray(task.X[name])
                 sketch = self.sketch.compress(column)
@@ -76,9 +83,9 @@ class LFE:
                     transformed = operator.apply(column)
                     if np.ptp(transformed) < 1e-12:
                         continue
-                    score = evaluator.evaluate(
-                        np.column_stack([matrix, transformed]), task.y
-                    )
+                    score = service.score_batch(
+                        matrix, [transformed], task.y, base_token=base_token
+                    )[0]
                     sketches, labels = examples[operator.name]
                     sketches.append(sketch)
                     labels.append(int(score - base > self.config.thre))
@@ -127,8 +134,9 @@ class LFE:
             n_estimators=self.config.n_estimators,
             seed=self.config.seed,
         )
+        service = self._make_service(evaluator)
         matrix = working.X.to_array()
-        base_score = evaluator.evaluate(matrix, working.y)
+        base_score = service.evaluate(matrix, working.y)
         columns = [matrix]
         names = list(working.X.columns)
         n_generated = 0
@@ -141,7 +149,7 @@ class LFE:
                 n_generated += 1
         augmented = sanitize_matrix(np.column_stack(columns))
         final_score = (
-            evaluator.evaluate(augmented, working.y) if n_generated else base_score
+            service.evaluate(augmented, working.y) if n_generated else base_score
         )
         best_score = max(base_score, final_score)
         elapsed = time.perf_counter() - started
@@ -157,6 +165,8 @@ class LFE:
             ],
             n_downstream_evaluations=evaluator.n_evaluations,
             n_generated=n_generated,
+            n_cache_hits=service.n_cache_hits,
+            n_cache_misses=service.n_cache_misses,
             evaluation_time=evaluator.total_eval_time,
             selected_matrix=augmented if final_score >= base_score else matrix,
             wall_time=elapsed,

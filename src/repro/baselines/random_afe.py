@@ -35,6 +35,7 @@ class RandomAFE(AFEEngine):
         started = time.perf_counter()
         working = self._select_agent_features(task)
         evaluator = self._make_evaluator(working)
+        service = self._make_service(evaluator)
         space = FeatureSpace(
             working,
             max_order=self.config.max_order,
@@ -42,7 +43,7 @@ class RandomAFE(AFEEngine):
             seed=self.config.seed,
         )
         rng = np.random.default_rng(self.config.seed)
-        base_score = evaluator.evaluate(working.X.to_array(), working.y)
+        base_score = service.evaluate(working.X.to_array(), working.y)
         current_score = base_score
         best_score = base_score
         best_features = list(space.feature_names())
@@ -62,10 +63,12 @@ class RandomAFE(AFEEngine):
                     if feature is None:
                         continue
                     result.n_generated += 1
-                    candidate = np.column_stack(
-                        [space.feature_matrix(), feature.values]
+                    score = service.evaluate(
+                        space.trial_matrix(feature.values),
+                        working.y,
+                        base_token=space.matrix_token(),
+                        column=feature.values,
                     )
-                    score = evaluator.evaluate(candidate, working.y)
                     if score > current_score:
                         space.accept(agent_index, feature)
                         current_score = score
@@ -84,5 +87,7 @@ class RandomAFE(AFEEngine):
         result.selected_features = best_features
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
+        result.n_cache_hits = service.n_cache_hits
+        result.n_cache_misses = service.n_cache_misses
         result.wall_time = time.perf_counter() - started
         return result

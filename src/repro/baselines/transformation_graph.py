@@ -64,6 +64,9 @@ class TransformationGraph:
         self.epsilon = epsilon
         self.alpha = alpha
         self.registry: OperatorRegistry = default_registry()
+        from ..eval import EvaluationCache
+
+        self.eval_cache = EvaluationCache()
 
     # -- transformations over whole nodes ---------------------------------
     def _apply_to_node(
@@ -90,6 +93,7 @@ class TransformationGraph:
         from ..core.evaluation import DownstreamEvaluator
         from ..core.engine import AFEEngine
         from ..core.filters import KeepAllFilter
+        from ..eval import EvaluationService
 
         started = time.perf_counter()
         prefilter = AFEEngine(KeepAllFilter(), self.config)
@@ -100,12 +104,15 @@ class TransformationGraph:
             n_estimators=self.config.n_estimators,
             seed=self.config.seed,
         )
+        service = EvaluationService.from_config(
+            evaluator, self.config, self.eval_cache
+        )
         rng = np.random.default_rng(self.config.seed)
         n_actions = len(self.registry)
 
         graph = nx.DiGraph()
         root_matrix = working.X.to_array()
-        base_score = evaluator.evaluate(root_matrix, working.y)
+        base_score = service.evaluate(root_matrix, working.y)
         graph.add_node(0, matrix=root_matrix, score=base_score, depth=0)
         q_values: dict[tuple[int, int], float] = {}
         best_node, best_score = 0, base_score
@@ -153,7 +160,8 @@ class TransformationGraph:
             # Cap width so node evaluation stays bounded.
             if child_matrix.shape[1] > 4 * root_matrix.shape[1]:
                 child_matrix = child_matrix[:, -4 * root_matrix.shape[1]:]
-            score = evaluator.evaluate(child_matrix, working.y)
+            # Whole-node states have no shared base; key on full content.
+            score = service.evaluate(child_matrix, working.y)
             result.n_generated += child_matrix.shape[1] - parent["matrix"].shape[1]
             child = graph.number_of_nodes()
             graph.add_node(
@@ -186,6 +194,8 @@ class TransformationGraph:
         result.selected_matrix = graph.nodes[best_node]["matrix"]
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
+        result.n_cache_hits = service.n_cache_hits
+        result.n_cache_misses = service.n_cache_misses
         result.wall_time = time.perf_counter() - started
         # Expose the traversal structure for inspection/tests.
         self.graph_ = graph

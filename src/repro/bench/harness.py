@@ -9,7 +9,14 @@ identical across experiments.  Two scale profiles exist:
 * ``paper`` — the paper's hyperparameters (200 epochs, full sizes);
   only for manual runs with hours of budget.
 
-Set ``REPRO_BENCH_PROFILE=paper`` to switch.
+Set ``REPRO_BENCH_PROFILE=paper`` to switch.  ``REPRO_EVAL_BACKEND``
+(``serial``/``process``) selects the candidate-scoring backend of the
+:mod:`repro.eval` service for every method built by the harness, and
+``REPRO_EVAL_CACHE=0`` disables score memoization.  Scores are
+identical across backends, but the ``process`` backend prefetches
+sweeps speculatively, so evaluation-*count* tables (Table IV,
+Figure 9) are paper-comparable only under the default ``serial``
+backend.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from ..datasets.registry import load as load_dataset
 __all__ = [
     "ALL_METHODS",
     "bench_profile",
+    "bench_eval_backend",
     "bench_config",
     "bench_dataset",
     "make_method",
@@ -69,6 +77,14 @@ def bench_profile() -> str:
     return profile
 
 
+def bench_eval_backend() -> str:
+    """Candidate-scoring backend: "serial" unless REPRO_EVAL_BACKEND=process."""
+    backend = os.environ.get("REPRO_EVAL_BACKEND", "serial").lower()
+    if backend not in ("serial", "process"):
+        raise ValueError(f"unknown eval backend {backend!r}")
+    return backend
+
+
 def bench_config(seed: int = 0, **overrides) -> EngineConfig:
     """Engine configuration for the active profile."""
     if bench_profile() == "paper":
@@ -91,6 +107,8 @@ def bench_config(seed: int = 0, **overrides) -> EngineConfig:
             max_agents=6,
             seed=seed,
         )
+    params["eval_backend"] = bench_eval_backend()
+    params["eval_cache"] = os.environ.get("REPRO_EVAL_CACHE", "1") != "0"
     params.update(overrides)
     return EngineConfig(**params)
 

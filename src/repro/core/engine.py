@@ -22,11 +22,12 @@ downstream call is counted, which is what Table IV tabulates.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..datasets.generators import TabularTask
+from ..eval import BACKENDS, EvaluationCache, EvaluationService
 from ..ml.forest import RandomForestClassifier, RandomForestRegressor
 from ..rl.buffer import ReplayBuffer, Transition
 from ..rl.environment import FeatureSpace
@@ -60,6 +61,9 @@ class EngineConfig:
     two_stage: bool = True
     per_step_rewards: bool = True  # False = NFS-style epoch-final credit
     patience: int | None = None  # early stop after N epochs w/o improvement
+    eval_cache: bool = True  # memoize downstream scores by fingerprint
+    eval_backend: str = "serial"  # score_batch backend: "serial"|"process"
+    eval_workers: int | None = None  # process-backend pool size
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -71,6 +75,11 @@ class EngineConfig:
             raise ValueError("lam must be in [0, 1)")
         if self.patience is not None and self.patience < 1:
             raise ValueError("patience must be positive when set")
+        if self.eval_backend not in BACKENDS:
+            raise ValueError(
+                f"eval_backend must be one of {BACKENDS}, "
+                f"got {self.eval_backend!r}"
+            )
 
 
 @dataclass
@@ -97,6 +106,8 @@ class AFEResult:
     n_downstream_evaluations: int = 0
     n_generated: int = 0
     n_filtered_out: int = 0
+    n_cache_hits: int = 0  # candidate scores served from the eval cache
+    n_cache_misses: int = 0  # candidate scores that paid a real CV fit
     wall_time: float = 0.0
     generation_time: float = 0.0  # time inside feature generation (Table I)
     evaluation_time: float = 0.0  # time inside downstream CV (Table I)
@@ -106,6 +117,12 @@ class AFEResult:
     def improvement(self) -> float:
         """Absolute score gain over the raw feature set."""
         return self.best_score - self.base_score
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of candidate scores served without a downstream fit."""
+        lookups = self.n_cache_hits + self.n_cache_misses
+        return self.n_cache_hits / lookups if lookups else 0.0
 
     def to_dict(self, include_matrix: bool = False) -> dict:
         """JSON-serializable summary of the run.
@@ -125,6 +142,9 @@ class AFEResult:
             "n_downstream_evaluations": self.n_downstream_evaluations,
             "n_generated": self.n_generated,
             "n_filtered_out": self.n_filtered_out,
+            "n_cache_hits": self.n_cache_hits,
+            "n_cache_misses": self.n_cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
             "wall_time": self.wall_time,
             "generation_time": self.generation_time,
             "evaluation_time": self.evaluation_time,
@@ -155,6 +175,9 @@ class AFEEngine:
     ) -> None:
         self.filter = candidate_filter or KeepAllFilter()
         self.config = config or EngineConfig()
+        # Persistent across fit() calls: re-running the same engine over
+        # the same task replays candidate scores instead of refitting.
+        self.eval_cache = EvaluationCache()
 
     # -- helpers ------------------------------------------------------------
     def _select_agent_features(self, task: TabularTask) -> TabularTask:
@@ -189,6 +212,10 @@ class AFEEngine:
             n_estimators=self.config.n_estimators,
             seed=self.config.seed,
         )
+
+    def _make_service(self, evaluator: DownstreamEvaluator) -> EvaluationService:
+        """Cached/batched scoring front-end for one run."""
+        return EvaluationService.from_config(evaluator, self.config, self.eval_cache)
 
     def _make_space(self, working: TabularTask) -> FeatureSpace:
         """Environment factory; variants override to regroup features."""
@@ -264,14 +291,35 @@ class AFEEngine:
         self,
         space: FeatureSpace,
         controller: MultiAgentController,
-        evaluator: DownstreamEvaluator,
+        service: EvaluationService,
         task: TabularTask,
         base_score: float,
         started: float,
         result: AFEResult,
         buffer: ReplayBuffer | None = None,
     ) -> None:
-        """Formal training against the downstream task (Alg. 2 lines 15-22)."""
+        """Formal training against the downstream task (Alg. 2 lines 15-22).
+
+        Scoring is batched per sweep: an agent's surviving candidates
+        are collected and streamed through
+        :meth:`EvaluationService.iter_scores` against the current
+        design matrix (arena views; the paper's Table I observation is
+        that the downstream fits dwarf everything else, and a shared
+        base per batch is what lets those fits be cached, deduplicated,
+        and farmed out to a process pool).  Whenever a candidate is
+        accepted the base matrix changes, so the remainder of the sweep
+        is re-issued against the new base — each candidate's *score* is
+        computed against the state including every previously accepted
+        feature, as sequential scoring would, and credit assignment
+        stays deterministic across backends.  One deliberate deviation
+        from a fully sequential loop remains: a sweep's actions are all
+        selected (and candidates generated) before any is scored, so
+        same-sweep rewards and acceptances are not yet visible to
+        ``controller.act`` / ``space.generate`` — the price of making
+        downstream fits batchable, and why per-seed trajectories differ
+        slightly from the pre-batching implementation.
+        """
+        evaluator = service.evaluator
         current_score = base_score
         best_score = base_score
         best_features = list(space.feature_names())
@@ -281,26 +329,43 @@ class AFEEngine:
         # state before the formal epochs begin.
         best_matrix: np.ndarray | None = None
         if buffer is not None and not buffer.is_empty:
-            for transition in buffer.best(space.n_agents):
-                names = space.feature_names() + [transition.feature.name]
-                candidate = np.column_stack(
-                    [space.feature_matrix(), transition.feature.values]
+            queue = list(buffer.best(space.n_agents))
+            result.n_generated += len(queue)
+            while queue:
+                base = space.feature_matrix()
+                base_names = space.feature_names()
+                scores = service.iter_scores(
+                    base,
+                    [transition.feature.values for transition in queue],
+                    task.y,
+                    base_token=space.matrix_token(),
                 )
-                score = evaluator.evaluate(candidate, task.y)
-                result.n_generated += 1
-                if score > current_score:
-                    space.accept(transition.agent_index, transition.feature)
-                    current_score = score
-                if score > best_score:
-                    best_score = score
-                    best_features = names
-                    best_matrix = candidate
+                accepted_at = None
+                for index, (transition, score) in enumerate(zip(queue, scores)):
+                    if score > best_score:
+                        best_score = score
+                        best_features = base_names + [transition.feature.name]
+                        best_matrix = np.column_stack(
+                            [base, transition.feature.values]
+                        )
+                    if score > current_score:
+                        space.accept(transition.agent_index, transition.feature)
+                        current_score = score
+                        accepted_at = index
+                        break
+                if accepted_at is None:
+                    break
+                queue = queue[accepted_at + 1 :]
         epochs_without_improvement = 0
         for epoch in range(self.config.n_epochs):
             best_before_epoch = best_score
             controller.reset_episode()
             steps: list[TrajectoryStep] = []
             for agent_index in range(space.n_agents):
+                # Act/generate/filter sequentially, deferring downstream
+                # scores to one batch per agent sweep.  Each entry:
+                # (index into steps, state, action, feature).
+                pending: list[tuple] = []
                 for _ in range(self.config.transforms_per_agent):
                     state = space.state_vector(agent_index)
                     action = controller.act(agent_index, state)
@@ -319,21 +384,39 @@ class AFEEngine:
                             TrajectoryStep(agent_index, state, action, -self.config.thre)
                         )
                         continue
-                    names = space.feature_names() + [feature.name]
-                    candidate = np.column_stack(
-                        [space.feature_matrix(), feature.values]
+                    steps.append(
+                        TrajectoryStep(agent_index, state, action, 0.0)
                     )
-                    score = evaluator.evaluate(candidate, task.y)
-                    gain = score - current_score
-                    space.record_reward(agent_index, gain)
-                    steps.append(TrajectoryStep(agent_index, state, action, gain))
-                    if gain > 0.0:
-                        space.accept(agent_index, feature)
-                        current_score = score
-                    if score > best_score:
-                        best_score = score
-                        best_features = names
-                        best_matrix = candidate
+                    pending.append((len(steps) - 1, state, action, feature))
+                queue = pending
+                while queue:
+                    base = space.feature_matrix()
+                    base_names = space.feature_names()
+                    scores = service.iter_scores(
+                        base,
+                        [feature.values for _, _, _, feature in queue],
+                        task.y,
+                        base_token=space.matrix_token(),
+                    )
+                    accepted_at = None
+                    for index, ((slot, state, action, feature), score) in enumerate(
+                        zip(queue, scores)
+                    ):
+                        gain = score - current_score
+                        space.record_reward(agent_index, gain)
+                        steps[slot] = TrajectoryStep(agent_index, state, action, gain)
+                        if score > best_score:
+                            best_score = score
+                            best_features = base_names + [feature.name]
+                            best_matrix = np.column_stack([base, feature.values])
+                        if gain > 0.0:
+                            space.accept(agent_index, feature)
+                            current_score = score
+                            accepted_at = index
+                            break
+                    if accepted_at is None:
+                        break
+                    queue = queue[accepted_at + 1 :]
             if steps:
                 if not self.config.per_step_rewards:
                     # NFS-style credit: every step in the epoch receives
@@ -363,7 +446,8 @@ class AFEEngine:
         result.selected_features = best_features
         # Cache the exact matrix that achieved best_score (column order
         # matters: the seeded per-node feature sampling of the forest
-        # makes CV scores sensitive to column permutation).
+        # makes CV scores sensitive to column permutation).  best_matrix
+        # is always a column_stack copy, never a live arena view.
         if best_matrix is not None:
             result.selected_matrix = best_matrix
         else:
@@ -375,6 +459,7 @@ class AFEEngine:
         started = time.perf_counter()
         working = self._select_agent_features(task)
         evaluator = self._make_evaluator(working)
+        service = self._make_service(evaluator)
         space = self._make_space(working)
         controller = MultiAgentController(
             n_agents=space.n_agents,
@@ -385,7 +470,7 @@ class AFEEngine:
             lam=self.config.lam,
             seed=self.config.seed,
         )
-        base_score = evaluator.evaluate(working.X.to_array(), working.y)
+        base_score = service.evaluate(working.X.to_array(), working.y)
         result = AFEResult(
             dataset=task.name,
             method=self.method_name,
@@ -398,11 +483,13 @@ class AFEEngine:
         if self.config.two_stage:
             self._stage1(space, controller, buffer, base_score)
         self._stage2(
-            space, controller, evaluator, working, base_score, started, result,
+            space, controller, service, working, base_score, started, result,
             buffer=buffer if self.config.two_stage else None,
         )
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
+        result.n_cache_hits = service.n_cache_hits
+        result.n_cache_misses = service.n_cache_misses
         result.wall_time = time.perf_counter() - started
         return result
 
@@ -418,14 +505,16 @@ class EAFE(AFEEngine):
         :func:`repro.core.pretrain.pretrain_fpe`.
     config:
         Loop hyperparameters; ``two_stage`` and ``per_step_rewards``
-        are forced on (they define the method).
+        are forced on (they define the method).  The caller's config is
+        never mutated — the overrides land on a private copy.
     """
 
     method_name = "E-AFE"
 
     def __init__(self, fpe: FPEModel, config: EngineConfig | None = None) -> None:
-        config = config or EngineConfig()
-        config.two_stage = True
-        config.per_step_rewards = True
+        if config is None:
+            config = EngineConfig(two_stage=True, per_step_rewards=True)
+        else:
+            config = replace(config, two_stage=True, per_step_rewards=True)
         super().__init__(FPEFilter(fpe), config)
         self.fpe = fpe

@@ -109,8 +109,20 @@ class DownstreamEvaluator:
             raise ValueError("task must be 'C' or 'R'")
         self._metric = f1_score if self.task == "C" else one_minus_rae
 
-    def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
-        """A_T(F, y): mean cross-validated score of the feature set."""
+    def evaluate(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        folds: tuple[tuple[np.ndarray, np.ndarray], ...] | None = None,
+    ) -> float:
+        """A_T(F, y): mean cross-validated score of the feature set.
+
+        ``folds`` accepts a precomputed fold plan (see
+        :class:`repro.eval.FoldCache`); it must match what
+        :func:`~repro.ml.model_selection.plan_folds` would derive from
+        ``(y, n_splits, seed, task)``, and exists purely so repeated
+        evaluations against one target skip re-deriving the splits.
+        """
         matrix = sanitize_matrix(np.asarray(X, dtype=np.float64))
         if matrix.ndim == 1:
             matrix = matrix.reshape(-1, 1)
@@ -127,10 +139,21 @@ class DownstreamEvaluator:
             n_splits=self.n_splits,
             seed=self.seed,
             stratified=self.task == "C",
+            folds=folds,
         )
         self.total_eval_time += time.perf_counter() - started
         self.n_evaluations += 1
         return score
+
+    def params(self) -> dict:
+        """Constructor arguments; lets workers rebuild an equivalent evaluator."""
+        return {
+            "task": self.task,
+            "model_kind": self.model_kind,
+            "n_splits": self.n_splits,
+            "n_estimators": self.n_estimators,
+            "seed": self.seed,
+        }
 
     def reset_counters(self) -> None:
         """Zero the evaluation count and accumulated evaluation time."""

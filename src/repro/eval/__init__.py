@@ -1,0 +1,26 @@
+"""Candidate evaluation subsystem: cached, batched, parallel scoring.
+
+Every downstream evaluation in the library flows through this layer.
+:class:`EvaluationService` memoizes scores by candidate fingerprint,
+reuses CV fold plans, and batches sweeps through serial or
+process-pool backends; :class:`FeatureMatrixArena` turns per-candidate
+matrix construction into an O(n) buffer write.  The un-cached primitive
+(:class:`repro.core.evaluation.DownstreamEvaluator`) stays the unit of
+accounting: its counters always mean *real* downstream fits.
+"""
+
+from .arena import FeatureMatrixArena
+from .fingerprint import ColumnFingerprinter, content_digest
+from .folds import FoldCache
+from .service import BACKENDS, EvalStats, EvaluationCache, EvaluationService
+
+__all__ = [
+    "BACKENDS",
+    "ColumnFingerprinter",
+    "EvalStats",
+    "EvaluationCache",
+    "EvaluationService",
+    "FeatureMatrixArena",
+    "FoldCache",
+    "content_digest",
+]

@@ -1,0 +1,109 @@
+"""Preallocated, growable column buffer for candidate matrices.
+
+Scoring a candidate used to mean ``np.column_stack([base, column])`` —
+an O(n*d) allocation and copy *per candidate* even though the base
+matrix only changes when a feature is accepted.  The arena keeps the
+base columns materialized once in a Fortran-ordered buffer (column
+writes are contiguous) and serves each trial as an O(n) write into the
+reserved trial slot plus a view of the first ``d+1`` columns.
+
+Views returned by the arena are **transient**: the next ``reset`` /
+``append`` / ``trial_view`` call may overwrite their storage.  Callers
+that retain a matrix (best-so-far snapshots, result payloads) must copy
+it — ``np.column_stack`` / ``np.array`` both do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["FeatureMatrixArena"]
+
+
+class FeatureMatrixArena:
+    """Growable (n_samples, capacity) float64 column arena."""
+
+    def __init__(self, n_samples: int, capacity: int = 32) -> None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._n_samples = n_samples
+        # Fortran order: each column is contiguous, so column writes and
+        # per-column hashing touch one memory stripe.
+        self._buffer = np.empty((n_samples, capacity), dtype=np.float64, order="F")
+        self._n_columns = 0
+
+    @property
+    def n_samples(self) -> int:
+        return self._n_samples
+
+    @property
+    def n_columns(self) -> int:
+        return self._n_columns
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.shape[1]
+
+    def _ensure_capacity(self, n_columns: int) -> None:
+        if n_columns <= self.capacity:
+            return
+        grown = max(n_columns, 2 * self.capacity)
+        buffer = np.empty((self._n_samples, grown), dtype=np.float64, order="F")
+        buffer[:, : self._n_columns] = self._buffer[:, : self._n_columns]
+        self._buffer = buffer
+
+    def _write(self, index: int, column: np.ndarray) -> None:
+        values = np.asarray(column, dtype=np.float64).reshape(-1)
+        if values.shape[0] != self._n_samples:
+            raise ValueError(
+                f"column has {values.shape[0]} samples, arena holds "
+                f"{self._n_samples}"
+            )
+        self._buffer[:, index] = values
+
+    def reset(self, columns: Sequence[np.ndarray] | np.ndarray) -> None:
+        """Replace the base matrix (one O(n*d) write).
+
+        Accepts either a sequence of 1-D columns or a ready 2-D matrix.
+        """
+        if isinstance(columns, np.ndarray) and columns.ndim == 2:
+            if columns.shape[0] != self._n_samples:
+                raise ValueError(
+                    f"matrix has {columns.shape[0]} samples, arena holds "
+                    f"{self._n_samples}"
+                )
+            # Reserve one extra slot so the common trial_view immediately
+            # after a reset never reallocates.
+            self._ensure_capacity(columns.shape[1] + 1)
+            self._buffer[:, : columns.shape[1]] = columns
+            self._n_columns = columns.shape[1]
+            return
+        self._ensure_capacity(len(columns) + 1)
+        for j, column in enumerate(columns):
+            self._write(j, column)
+        self._n_columns = len(columns)
+
+    def append(self, column: np.ndarray) -> int:
+        """Commit one column to the base matrix; returns its index."""
+        self._ensure_capacity(self._n_columns + 2)
+        self._write(self._n_columns, column)
+        self._n_columns += 1
+        return self._n_columns - 1
+
+    def base_view(self) -> np.ndarray:
+        """Read-only view of the committed base matrix."""
+        view = self._buffer[:, : self._n_columns]
+        view.flags.writeable = False
+        return view
+
+    def trial_view(self, column: np.ndarray) -> np.ndarray:
+        """Base plus one uncommitted trial column, as a read-only view."""
+        self._ensure_capacity(self._n_columns + 1)
+        self._write(self._n_columns, column)
+        view = self._buffer[:, : self._n_columns + 1]
+        view.flags.writeable = False
+        return view

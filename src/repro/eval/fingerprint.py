@@ -1,0 +1,73 @@
+"""Candidate fingerprinting for evaluation memoization.
+
+A candidate evaluation is fully determined by (evaluator parameters,
+feature matrix content, target content).  The cache key therefore has
+three layers:
+
+* an **evaluator token** — the downstream task/model/CV parameters,
+  computed once per service;
+* a **base token** — content digest of the shared base matrix, so a
+  trial column only has to be hashed on its own (O(n)) instead of
+  re-hashing the whole matrix (O(n*d)) per candidate;
+* a **column fingerprint** — an exact content digest (what guarantees
+  cache hits return bit-identical scores), plus a coarse
+  :class:`~repro.hashing.QuantileSketch` bucket that groups
+  near-duplicate candidates.  The bucket is deliberately kept *off*
+  the lookup hot path: the service computes it only for cache misses,
+  where a CV fit dwarfs the sketch cost, to report how many distinct
+  candidates were near-duplicates of earlier ones (the signal the
+  ROADMAP's approximate-reuse direction will act on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..hashing.quantile_sketch import QuantileSketch
+
+__all__ = ["content_digest", "ColumnFingerprinter"]
+
+_DIGEST_BYTES = 16
+
+
+def content_digest(array: np.ndarray) -> str:
+    """Exact content hash of an array (dtype-, shape- and order-stable)."""
+    values = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+    hasher = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    hasher.update(str(values.shape).encode())
+    hasher.update(values.tobytes())
+    return hasher.hexdigest()
+
+
+class ColumnFingerprinter:
+    """Two-layer fingerprint of a candidate feature column.
+
+    ``key`` is the exact content digest — O(n), the only thing cache
+    lookups need.  ``fingerprint`` additionally returns a ``bucket``:
+    a hash of a low-resolution quantile sketch, so columns with
+    near-identical distributions collide.  The bucket costs a sort, so
+    callers should reserve it for cold paths (cache misses).
+    """
+
+    def __init__(self, sketch_dim: int = 8, seed: int = 0) -> None:
+        self._sketch = QuantileSketch(d=sketch_dim, seed=seed)
+
+    def bucket(self, column: np.ndarray) -> str:
+        """Near-duplicate bucket of a column's value distribution."""
+        values = np.asarray(column, dtype=np.float64).reshape(-1)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return "empty"
+        # Quantize the sketch so floating jitter does not split buckets.
+        sketch = np.round(self._sketch.compress(finite), decimals=6)
+        return content_digest(sketch)[:8]
+
+    def fingerprint(self, column: np.ndarray) -> tuple[str, str]:
+        values = np.asarray(column, dtype=np.float64).reshape(-1)
+        return self.bucket(values), content_digest(values)
+
+    def key(self, column: np.ndarray) -> str:
+        """Exact content key (hot path: no sketch work)."""
+        return content_digest(np.asarray(column, dtype=np.float64).reshape(-1))

@@ -1,0 +1,66 @@
+"""Run-level cache of cross-validation fold plans.
+
+Fold indices depend only on ``(y, n_splits, seed, stratified)`` — never
+on the candidate matrix — yet the seed implementation re-derived them
+inside every single downstream evaluation.  One AFE run issues hundreds
+to thousands of evaluations against the *same* target, so the plan is
+computed once here and handed to :func:`repro.ml.model_selection
+.cross_val_score` via its ``folds`` parameter.  Plans are exactly what
+an inline split would produce, so scores are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.model_selection import plan_folds
+from .fingerprint import content_digest
+
+__all__ = ["FoldCache"]
+
+FoldPlan = tuple[tuple[np.ndarray, np.ndarray], ...]
+
+
+class FoldCache:
+    """Memoize :func:`plan_folds` keyed on target content and CV params."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._plans: dict[tuple[str, int, int, int, bool], FoldPlan] = {}
+        self.n_hits = 0
+        self.n_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(
+        self,
+        y: np.ndarray,
+        n_splits: int,
+        seed: int = 0,
+        stratified: bool = False,
+    ) -> FoldPlan:
+        target = np.asarray(y, dtype=np.float64).reshape(-1)
+        key = (
+            content_digest(target),
+            target.shape[0],
+            int(n_splits),
+            int(seed),
+            bool(stratified),
+        )
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.n_hits += 1
+            return cached
+        self.n_misses += 1
+        plan = plan_folds(
+            target, n_splits=n_splits, seed=seed, stratified=stratified
+        )
+        if len(self._plans) >= self._max_entries:
+            # FIFO eviction: fold plans are cheap to rebuild and a run
+            # touches very few distinct targets.
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+        return plan

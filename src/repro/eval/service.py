@@ -1,0 +1,434 @@
+"""EvaluationService: cached, batched candidate scoring.
+
+This is the choke point every engine and baseline routes downstream
+evaluations through.  It layers three optimizations over the thin
+:class:`~repro.core.evaluation.DownstreamEvaluator` primitive without
+changing a single score:
+
+* **memoization** — candidates are fingerprinted (quantile-sketch
+  bucket + exact content hash, keyed on the base-matrix token), so a
+  duplicate candidate never pays a second cross-validated fit.  The
+  backing :class:`EvaluationCache` can be shared across runs: an engine
+  re-run over the same tasks replays scores out of the cache.
+* **fold reuse** — CV splits are planned once per target via
+  :class:`~repro.eval.folds.FoldCache` and passed into every fit.
+* **batching** — :meth:`score_batch` scores a sweep's surviving
+  candidates together against one frozen base matrix, through a
+  pluggable backend: ``serial`` (arena-backed, zero-copy trials) or
+  ``process`` (a ``multiprocessing`` pool of workers).  Backends are
+  bit-equal because every evaluation is independently seeded.
+
+``DownstreamEvaluator`` counters keep meaning *real downstream fits*:
+cache hits never touch them, and the service tracks hits/misses
+separately so results can report both.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .arena import FeatureMatrixArena
+from .fingerprint import ColumnFingerprinter, content_digest
+from .folds import FoldCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> eval)
+    from ..core.evaluation import DownstreamEvaluator
+
+__all__ = ["EvalStats", "EvaluationCache", "EvaluationService", "BACKENDS"]
+
+BACKENDS = ("serial", "process")
+
+
+@dataclass
+class EvalStats:
+    """Per-service accounting of cache behaviour.
+
+    ``n_near_duplicates`` counts cache *misses* whose quantile-sketch
+    bucket had already been seen for a different column — candidates
+    that paid a real fit despite being distribution-near-duplicates of
+    an earlier one.  It is the headroom measurement for approximate
+    (surrogate-score) reuse.
+    """
+
+    n_hits: int = 0
+    n_misses: int = 0
+    n_batches: int = 0
+    n_near_duplicates: int = 0
+
+    @property
+    def n_lookups(self) -> int:
+        return self.n_hits + self.n_misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.n_lookups
+        return self.n_hits / lookups if lookups else 0.0
+
+
+class EvaluationCache:
+    """Bounded score store shared by one or more services.
+
+    Keys are the service's flat fingerprint strings; values are scores.
+    FIFO eviction — a score is cheap to recompute and the bound only
+    exists to keep unbounded sweeps from accumulating forever.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._scores: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def get(self, key: str) -> float | None:
+        return self._scores.get(key)
+
+    def put(self, key: str, score: float) -> None:
+        if len(self._scores) >= self._max_entries and key not in self._scores:
+            self._scores.pop(next(iter(self._scores)))
+        self._scores[key] = score
+
+    def clear(self) -> None:
+        self._scores.clear()
+
+
+def _score_chunk(payload) -> list[tuple[float, float]]:
+    """Process-pool worker: score a chunk of candidate columns.
+
+    Rebuilds an equivalent evaluator from its parameters (the parent's
+    counters are updated by the parent), stacks each column onto the
+    shared base, and returns ``(score, fit_seconds)`` per candidate.
+    """
+    from ..core.evaluation import DownstreamEvaluator
+
+    params, base, columns, y, folds = payload
+    evaluator = DownstreamEvaluator(**params)
+    results: list[tuple[float, float]] = []
+    for column in columns:
+        matrix = base if column is None else np.column_stack([base, column])
+        before = evaluator.total_eval_time
+        score = evaluator.evaluate(matrix, y, folds=folds)
+        results.append((score, evaluator.total_eval_time - before))
+    return results
+
+
+class EvaluationService:
+    """Cached, batched front-end over one :class:`DownstreamEvaluator`.
+
+    Parameters
+    ----------
+    evaluator:
+        The un-cached primitive; its ``n_evaluations`` /
+        ``total_eval_time`` counters keep counting real fits only.
+    cache:
+        Optional shared :class:`EvaluationCache`.  ``None`` disables
+        memoization entirely (every lookup is a miss).
+    backend:
+        ``"serial"`` or ``"process"`` — how :meth:`score_batch` scores
+        cache misses.
+    n_workers:
+        Pool size for the process backend (default: CPU count, capped
+        at 4 — downstream fits at bench scale are milliseconds, so a
+        small pool already saturates the win).
+    """
+
+    def __init__(
+        self,
+        evaluator: "DownstreamEvaluator",
+        cache: EvaluationCache | None = None,
+        backend: str = "serial",
+        n_workers: int | None = None,
+        fold_cache: FoldCache | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.evaluator = evaluator
+        self.cache = cache
+        self.backend = backend
+        self.n_workers = n_workers
+        self.stats = EvalStats()
+        self._folds = fold_cache or FoldCache()
+        self._fingerprinter = ColumnFingerprinter(seed=evaluator.seed)
+        params = evaluator.params()
+        self._params_token = ":".join(
+            f"{name}={params[name]}" for name in sorted(params)
+        )
+        self._arena: FeatureMatrixArena | None = None
+        self._arena_token: str | None = None
+        self._digest_of_bucket: dict[str, str] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        evaluator: "DownstreamEvaluator",
+        config,
+        cache: EvaluationCache | None,
+    ) -> "EvaluationService":
+        """Build a service from an :class:`~repro.core.engine.EngineConfig`.
+
+        ``cache`` is the caller-owned store (pass ``None`` to force
+        memoization off regardless of the config); ``config.eval_cache``
+        still gates whether it is used.
+        """
+        return cls(
+            evaluator,
+            cache=cache if config.eval_cache else None,
+            backend=config.eval_backend,
+            n_workers=config.eval_workers,
+        )
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def n_cache_hits(self) -> int:
+        return self.stats.n_hits
+
+    @property
+    def n_cache_misses(self) -> int:
+        return self.stats.n_misses
+
+    # -- keys ---------------------------------------------------------------
+    def token(self, X: np.ndarray) -> str:
+        """Content token of a base matrix, for candidate keying."""
+        return content_digest(np.asarray(X, dtype=np.float64))
+
+    def _target_token(self, y: np.ndarray) -> str:
+        return content_digest(np.asarray(y, dtype=np.float64).reshape(-1))
+
+    def _candidate_key(
+        self, base_token: str, column: np.ndarray, target_token: str
+    ) -> str:
+        return (
+            f"{self._params_token}|{target_token}|{base_token}|"
+            f"{self._fingerprinter.key(column)}"
+        )
+
+    def _matrix_key(self, X: np.ndarray, target_token: str) -> str:
+        return f"{self._params_token}|{target_token}|full|{self.token(X)}"
+
+    def _plan(self, y: np.ndarray):
+        return self._folds.plan(
+            y,
+            n_splits=self.evaluator.n_splits,
+            seed=self.evaluator.seed,
+            stratified=self.evaluator.task == "C",
+        )
+
+    # -- scoring ------------------------------------------------------------
+    def _lookup(self, key: str) -> float | None:
+        if self.cache is None:
+            self.stats.n_misses += 1
+            return None
+        score = self.cache.get(key)
+        if score is None:
+            self.stats.n_misses += 1
+        else:
+            self.stats.n_hits += 1
+        return score
+
+    def _store(self, key: str, score: float) -> None:
+        if self.cache is not None:
+            self.cache.put(key, score)
+
+    def _note_near_duplicate(self, column: np.ndarray) -> None:
+        """Cold-path (miss-only) sketch accounting; see :class:`EvalStats`."""
+        bucket, digest = self._fingerprinter.fingerprint(column)
+        seen = self._digest_of_bucket.get(bucket)
+        if seen is None:
+            if len(self._digest_of_bucket) >= 8192:
+                self._digest_of_bucket.clear()
+            self._digest_of_bucket[bucket] = digest
+        elif seen != digest:
+            self.stats.n_near_duplicates += 1
+
+    def evaluate(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        base_token: str | None = None,
+        column: np.ndarray | None = None,
+    ) -> float:
+        """Cached A_T(F, y) of one matrix.
+
+        When ``base_token`` and ``column`` are given, ``X`` must be the
+        base matrix (identified by the token) extended with exactly that
+        trial column; the key then hashes only the column (O(n)) instead
+        of the full matrix (O(n*d)).
+        """
+        target_token = self._target_token(y)
+        if base_token is not None and column is not None:
+            key = self._candidate_key(base_token, column, target_token)
+        else:
+            key = self._matrix_key(X, target_token)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        if column is not None:
+            self._note_near_duplicate(column)
+        score = self.evaluator.evaluate(X, y, folds=self._plan(y))
+        self._store(key, score)
+        return score
+
+    def score_batch(
+        self,
+        base: np.ndarray,
+        columns: list[np.ndarray],
+        y: np.ndarray,
+        base_token: str | None = None,
+    ) -> list[float]:
+        """Score base+column candidates together; returns scores in order.
+
+        All candidates share one frozen ``base`` matrix.  Cache hits are
+        resolved up front; only the misses reach the backend.
+        """
+        if not columns:
+            return []
+        self.stats.n_batches += 1
+        base = np.asarray(base, dtype=np.float64)
+        token = base_token if base_token is not None else self.token(base)
+        target_token = self._target_token(y)
+        scores: list[float | None] = [None] * len(columns)
+        keys: list[str] = []
+        # Deduplicate *within* the batch too: only the first occurrence
+        # of a fingerprint reaches the backend, later ones are hits.
+        missing_of_key: dict[str, list[int]] = {}
+        missing: list[int] = []
+        for index, column in enumerate(columns):
+            key = self._candidate_key(token, column, target_token)
+            keys.append(key)
+            if key in missing_of_key:
+                self.stats.n_hits += 1
+                missing_of_key[key].append(index)
+                continue
+            cached = self._lookup(key)
+            if cached is None:
+                missing_of_key[key] = [index]
+                missing.append(index)
+                self._note_near_duplicate(column)
+            else:
+                scores[index] = cached
+        if missing:
+            if self.backend == "process" and len(missing) > 1:
+                fresh = self._score_missing_process(base, columns, missing, y)
+            else:
+                fresh = self._score_missing_serial(
+                    base, token, columns, missing, y
+                )
+            for index, score in zip(missing, fresh):
+                for duplicate in missing_of_key[keys[index]]:
+                    scores[duplicate] = score
+                self._store(keys[index], score)
+        return [float(score) for score in scores]
+
+    def iter_scores(
+        self,
+        base: np.ndarray,
+        columns: list[np.ndarray],
+        y: np.ndarray,
+        base_token: str | None = None,
+    ):
+        """Yield candidate scores one at a time against a frozen base.
+
+        The consumer may stop early (e.g. after accepting a candidate
+        the base matrix changes) and re-issue the remainder against the
+        new base.  With the ``serial`` backend scoring is fully lazy —
+        abandoned candidates cost nothing.  With the ``process`` backend
+        the whole batch is prefetched speculatively for parallelism, so
+        abandoned candidates may still have paid a real (cached-for-
+        later) fit — that is the price of the parallel backend, not a
+        correctness difference.
+        """
+        if not columns:
+            return
+        if self.backend == "process":
+            yield from self.score_batch(base, columns, y, base_token=base_token)
+            return
+        self.stats.n_batches += 1
+        base = np.asarray(base, dtype=np.float64)
+        token = base_token if base_token is not None else self.token(base)
+        target_token = self._target_token(y)
+        for column in columns:
+            key = self._candidate_key(token, column, target_token)
+            cached = self._lookup(key)
+            if cached is not None:
+                yield cached
+                continue
+            self._note_near_duplicate(column)
+            score = self._score_missing_serial(base, token, [column], [0], y)
+            self._store(key, score[0])
+            yield score[0]
+
+    def _score_missing_serial(
+        self,
+        base: np.ndarray,
+        token: str,
+        columns: list[np.ndarray],
+        missing: list[int],
+        y: np.ndarray,
+    ) -> list[float]:
+        """Arena-backed loop: base copied once per token, O(n) per trial."""
+        if self._arena is None or self._arena.n_samples != base.shape[0]:
+            self._arena = FeatureMatrixArena(base.shape[0], base.shape[1] + 1)
+            self._arena_token = None
+        if self._arena_token != token:
+            self._arena.reset(base)
+            self._arena_token = token
+        folds = self._plan(y)
+        return [
+            self.evaluator.evaluate(
+                self._arena.trial_view(columns[index]), y, folds=folds
+            )
+            for index in missing
+        ]
+
+    def _score_missing_process(
+        self,
+        base: np.ndarray,
+        columns: list[np.ndarray],
+        missing: list[int],
+        y: np.ndarray,
+    ) -> list[float]:
+        """Fan cache misses out over a process pool.
+
+        Each worker rebuilds an equivalent evaluator, so results are
+        bit-identical to the serial backend; the parent folds the real
+        fit counts and times back into its own evaluator's counters.
+        """
+        n_workers = self.n_workers or min(4, os.cpu_count() or 1)
+        n_workers = max(1, min(n_workers, len(missing)))
+        if n_workers == 1:
+            token = self.token(base)
+            return self._score_missing_serial(base, token, columns, missing, y)
+        params = self.evaluator.params()
+        folds = self._plan(y)
+        chunks = np.array_split(np.asarray(missing), n_workers)
+        payloads = [
+            (params, base, [columns[i] for i in chunk], y, folds)
+            for chunk in chunks
+            if len(chunk)
+        ]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        try:
+            with context.Pool(processes=len(payloads)) as pool:
+                chunk_results = pool.map(_score_chunk, payloads)
+        except OSError:  # pragma: no cover - pool creation denied
+            token = self.token(base)
+            return self._score_missing_serial(base, token, columns, missing, y)
+        scores: list[float] = []
+        for results in chunk_results:
+            for score, seconds in results:
+                scores.append(score)
+                self.evaluator.n_evaluations += 1
+                self.evaluator.total_eval_time += seconds
+        return scores

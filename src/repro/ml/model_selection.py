@@ -18,6 +18,7 @@ __all__ = [
     "KFold",
     "StratifiedKFold",
     "train_test_split",
+    "plan_folds",
     "cross_val_score",
     "cross_val_mean",
 ]
@@ -127,23 +128,23 @@ def train_test_split(
     return matrix[train], matrix[test], target[train], target[test]
 
 
-def cross_val_score(
-    estimator: BaseEstimator,
-    X: np.ndarray,
+def plan_folds(
     y: np.ndarray,
-    metric: Callable[[np.ndarray, np.ndarray], float],
     n_splits: int = 5,
     seed: int = 0,
     stratified: bool = False,
-) -> np.ndarray:
-    """Per-fold scores of a cloned estimator.
+) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Materialize the exact fold indices :func:`cross_val_score` uses.
 
-    The estimator is cloned per fold so state never leaks between folds;
-    ``metric(y_true, y_pred)`` follows the convention that larger is
-    better (as every score in the paper does).
+    Splits depend only on ``(y, n_splits, seed, stratified)`` — not on
+    the feature matrix — so a run that scores thousands of candidate
+    matrices against one target can compute the plan once and pass it
+    via the ``folds`` parameter instead of re-deriving it per call
+    (:mod:`repro.eval.folds` adds the cache).  The selection logic must
+    stay byte-identical to what an inline split would produce.
     """
-    matrix, target = check_X_y(X, y, allow_nonfinite=True)
-    n_samples = matrix.shape[0]
+    target = np.asarray(y, dtype=np.float64).reshape(-1)
+    n_samples = target.shape[0]
     splits = min(n_splits, n_samples)
     if splits < 2:
         raise ValueError("need at least 2 samples for cross-validation")
@@ -157,8 +158,34 @@ def cross_val_score(
             splitter = KFold(splits, seed=seed).split(n_samples)
     else:
         splitter = KFold(splits, seed=seed).split(n_samples)
+    return tuple((train, test) for train, test in splitter)
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    n_splits: int = 5,
+    seed: int = 0,
+    stratified: bool = False,
+    folds: tuple[tuple[np.ndarray, np.ndarray], ...] | None = None,
+) -> np.ndarray:
+    """Per-fold scores of a cloned estimator.
+
+    The estimator is cloned per fold so state never leaks between folds;
+    ``metric(y_true, y_pred)`` follows the convention that larger is
+    better (as every score in the paper does).  ``folds`` accepts a
+    precomputed :func:`plan_folds` plan and must have been built from
+    the same ``(y, n_splits, seed, stratified)``.
+    """
+    matrix, target = check_X_y(X, y, allow_nonfinite=True)
+    if folds is None:
+        folds = plan_folds(
+            target, n_splits=n_splits, seed=seed, stratified=stratified
+        )
     scores = []
-    for train, test in splitter:
+    for train, test in folds:
         model = clone(estimator)
         model.fit(matrix[train], target[train])
         prediction = model.predict(matrix[test])
@@ -174,11 +201,12 @@ def cross_val_mean(
     n_splits: int = 5,
     seed: int = 0,
     stratified: bool = False,
+    folds: tuple[tuple[np.ndarray, np.ndarray], ...] | None = None,
 ) -> float:
     """Mean of :func:`cross_val_score` (the paper's A_T(F, y))."""
     return float(
         cross_val_score(
             estimator, X, y, metric, n_splits=n_splits, seed=seed,
-            stratified=stratified,
+            stratified=stratified, folds=folds,
         ).mean()
     )

@@ -39,8 +39,12 @@ class TestNFS:
 
     def test_evaluates_every_generated_feature(self):
         result = NFS(_config()).fit(CLS_TASK)
-        # base eval + one per generated candidate
-        assert result.n_downstream_evaluations == result.n_generated + 1
+        # base eval + one per generated candidate; duplicates are served
+        # from the eval cache instead of paying a second downstream fit.
+        assert (
+            result.n_downstream_evaluations + result.n_cache_hits
+            == result.n_generated + 1
+        )
 
     def test_runs_regression(self):
         result = NFS(_config()).fit(REG_TASK)
@@ -51,7 +55,10 @@ class TestAutoFSR:
     def test_runs_and_counts(self):
         result = AutoFSR(_config()).fit(CLS_TASK)
         assert result.method == "AutoFSR"
-        assert result.n_downstream_evaluations == result.n_generated + 1
+        assert (
+            result.n_downstream_evaluations + result.n_cache_hits
+            == result.n_generated + 1
+        )
         assert result.best_score >= result.base_score
 
     def test_history_recorded(self):

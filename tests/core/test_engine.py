@@ -115,10 +115,15 @@ class TestEAFE:
         task = make_classification(n_samples=100, n_features=5, seed=7)
         result = EAFE(FPE, _tiny_config(n_epochs=3)).fit(task)
         assert result.n_generated >= result.n_filtered_out
-        # Every generated candidate either got filtered or evaluated.
+        # Every generated candidate either got filtered or evaluated —
+        # where "evaluated" means a real downstream fit *or* a cache hit
+        # (duplicate candidates never pay a second CV).
         evaluated = result.n_generated - result.n_filtered_out
         # +1 for the base-score evaluation.
-        assert result.n_downstream_evaluations == evaluated + 1
+        assert (
+            result.n_downstream_evaluations + result.n_cache_hits
+            == evaluated + 1
+        )
 
     def test_fpe_reduces_evaluations_vs_keep_all(self):
         task = make_classification(n_samples=100, n_features=5, seed=8)
@@ -129,6 +134,28 @@ class TestEAFE:
 
     def test_method_name(self):
         assert EAFE(FPE, _tiny_config()).method_name == "E-AFE"
+
+    def test_does_not_mutate_caller_config(self):
+        # Regression: EAFE used to set two_stage/per_step_rewards on the
+        # caller's EngineConfig object, leaking the overrides into every
+        # other engine sharing that config.
+        shared = _tiny_config(two_stage=False, per_step_rewards=False)
+        engine = EAFE(FPE, shared)
+        assert engine.config.two_stage is True
+        assert engine.config.per_step_rewards is True
+        assert shared.two_stage is False
+        assert shared.per_step_rewards is False
+
+    def test_repeat_fit_hits_cache(self):
+        # Same engine, same task: the persistent cache replays every
+        # candidate score instead of refitting, and scores are identical.
+        task = make_classification(n_samples=80, n_features=4, seed=10)
+        engine = EAFE(FPE, _tiny_config())
+        first = engine.fit(task)
+        second = engine.fit(task)
+        assert second.best_score == first.best_score
+        assert second.n_cache_hits > 0
+        assert second.n_downstream_evaluations < first.n_downstream_evaluations
 
 
 class TestVariants:

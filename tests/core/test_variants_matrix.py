@@ -78,11 +78,14 @@ class TestFairComparisonInvariants:
 
     def test_accounting_invariant_all_variants(self):
         # generated = filtered + evaluated-candidates for every engine
-        # that goes through the shared loop.
+        # that goes through the shared loop; an evaluation is a real
+        # downstream fit or a cache hit on a duplicate candidate.
         config = _config()
         for name in ("E-AFE", "E-AFE_D", "E-AFE_R"):
             result = make_variant(name, config, fpe=FPE).fit(TASK)
-            evaluated = result.n_downstream_evaluations - 1  # minus base
+            evaluated = (
+                result.n_downstream_evaluations + result.n_cache_hits - 1
+            )  # minus base
             assert result.n_generated == result.n_filtered_out + evaluated, name
 
     def test_histories_have_epoch_per_entry(self):

@@ -1,0 +1,125 @@
+"""FeatureMatrixArena: views must be exact column_stack equivalents."""
+
+import numpy as np
+import pytest
+
+from repro.eval import FeatureMatrixArena
+from repro.datasets import make_classification
+from repro.rl.environment import FeatureSpace
+
+
+def _columns(n_samples=40, n_columns=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=n_samples) for _ in range(n_columns)]
+
+
+class TestArenaBasics:
+    def test_reset_and_base_view_match_column_stack(self):
+        columns = _columns()
+        arena = FeatureMatrixArena(40, capacity=2)
+        arena.reset(columns)
+        np.testing.assert_array_equal(
+            arena.base_view(), np.column_stack(columns)
+        )
+
+    def test_reset_accepts_matrix(self):
+        matrix = np.column_stack(_columns())
+        arena = FeatureMatrixArena(40)
+        arena.reset(matrix)
+        np.testing.assert_array_equal(arena.base_view(), matrix)
+
+    def test_trial_view_matches_column_stack(self):
+        columns = _columns()
+        trial = np.arange(40, dtype=np.float64)
+        arena = FeatureMatrixArena(40)
+        arena.reset(columns)
+        np.testing.assert_array_equal(
+            arena.trial_view(trial),
+            np.column_stack(columns + [trial]),
+        )
+        # The trial slot is not committed.
+        assert arena.n_columns == 5
+
+    def test_append_commits(self):
+        columns = _columns()
+        extra = np.ones(40)
+        arena = FeatureMatrixArena(40, capacity=5)
+        arena.reset(columns)
+        arena.append(extra)
+        assert arena.n_columns == 6
+        np.testing.assert_array_equal(
+            arena.base_view(), np.column_stack(columns + [extra])
+        )
+
+    def test_growth_preserves_content(self):
+        arena = FeatureMatrixArena(10, capacity=1)
+        committed = []
+        for i in range(20):
+            column = np.full(10, float(i))
+            arena.append(column)
+            committed.append(column)
+        np.testing.assert_array_equal(
+            arena.base_view(), np.column_stack(committed)
+        )
+        assert arena.capacity >= 20
+
+    def test_views_are_read_only(self):
+        arena = FeatureMatrixArena(10)
+        arena.reset([np.zeros(10)])
+        with pytest.raises(ValueError):
+            arena.base_view()[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            arena.trial_view(np.ones(10))[0, 0] = 1.0
+
+    def test_wrong_sample_count_rejected(self):
+        arena = FeatureMatrixArena(10)
+        with pytest.raises(ValueError):
+            arena.reset([np.zeros(11)])
+        with pytest.raises(ValueError):
+            arena.trial_view(np.zeros(9))
+
+
+class TestFeatureSpaceArena:
+    def test_feature_matrix_matches_legacy_column_stack(self):
+        task = make_classification(n_samples=60, n_features=4, seed=0)
+        space = FeatureSpace(task, seed=0)
+        legacy = np.column_stack(
+            [f.values for g in space.subgroups for f in g.members]
+        )
+        np.testing.assert_array_equal(space.feature_matrix(), legacy)
+
+    def test_trial_matrix_matches_legacy_column_stack(self):
+        task = make_classification(n_samples=60, n_features=4, seed=0)
+        space = FeatureSpace(task, seed=0)
+        feature = None
+        for action in range(space.n_actions):
+            feature = space.generate(0, action)
+            if feature is not None:
+                break
+        assert feature is not None
+        expected = np.column_stack([space.feature_matrix(), feature.values])
+        np.testing.assert_array_equal(space.trial_matrix(feature.values), expected)
+
+    def test_accept_invalidates_and_rebuilds(self):
+        task = make_classification(n_samples=60, n_features=4, seed=1)
+        space = FeatureSpace(task, seed=1)
+        before = space.feature_matrix().shape[1]
+        token_before = space.matrix_token()
+        feature = None
+        for action in range(space.n_actions):
+            feature = space.generate(1, action)
+            if feature is not None:
+                break
+        assert space.accept(1, feature)
+        after = space.feature_matrix()
+        assert after.shape[1] == before + 1
+        assert space.matrix_token() != token_before
+        legacy = np.column_stack(
+            [f.values for g in space.subgroups for f in g.members]
+        )
+        np.testing.assert_array_equal(after, legacy)
+
+    def test_token_stable_per_version(self):
+        task = make_classification(n_samples=60, n_features=4, seed=2)
+        space = FeatureSpace(task, seed=2)
+        assert space.matrix_token() == space.matrix_token()
