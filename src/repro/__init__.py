@@ -31,8 +31,15 @@ from .core import (
     tune_fpe,
 )
 from .eval import EvaluationCache, EvaluationService, FeatureMatrixArena
+from .store import (
+    MemoryBackend,
+    RunStore,
+    SqliteBackend,
+    WriteThroughBackend,
+    make_eval_backend,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EAFE",
@@ -43,6 +50,11 @@ __all__ = [
     "EvaluationService",
     "FeatureMatrixArena",
     "FPEModel",
+    "MemoryBackend",
+    "RunStore",
+    "SqliteBackend",
+    "WriteThroughBackend",
+    "make_eval_backend",
     "pretrain_fpe",
     "default_fpe",
     "tune_fpe",

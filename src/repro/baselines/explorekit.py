@@ -24,7 +24,8 @@ import numpy as np
 from ..core.engine import AFEResult, EngineConfig, EpochRecord
 from ..core.evaluation import DownstreamEvaluator
 from ..datasets.generators import TabularTask
-from ..eval import EvaluationCache, EvaluationService
+from ..eval import EvaluationService
+from ..store import make_eval_backend
 from ..hashing.meta_features import MetaFeatureExtractor
 from ..ml.base import sanitize_matrix
 from ..ml.linear import LogisticRegression
@@ -50,7 +51,7 @@ class ExploreKit:
         self.registry: OperatorRegistry = default_registry()
         self.extractor = MetaFeatureExtractor(d=MetaFeatureExtractor.N_BASE)
         self._ranker: LogisticRegression | None = None
-        self.eval_cache = EvaluationCache()
+        self.eval_cache = make_eval_backend(self.config.eval_store_path)
 
     # -- offline ranking model --------------------------------------------
     def pretrain(self, corpus: list[TabularTask]) -> "ExploreKit":

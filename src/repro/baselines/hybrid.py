@@ -104,7 +104,8 @@ class DlThenFe:
         self.config = copy.deepcopy(config) if config is not None else EngineConfig()
 
     def fit(self, task: TabularTask) -> AFEResult:
-        from ..eval import EvaluationCache, EvaluationService
+        from ..eval import EvaluationService
+        from ..store import make_eval_backend
 
         started = time.perf_counter()
         evaluator = DownstreamEvaluator(
@@ -114,7 +115,7 @@ class DlThenFe:
             seed=self.config.seed,
         )
         service = EvaluationService.from_config(
-            evaluator, self.config, EvaluationCache()
+            evaluator, self.config, make_eval_backend(self.config.eval_store_path)
         )
         try:
             body = TabularResNet(

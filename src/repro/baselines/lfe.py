@@ -24,7 +24,8 @@ import numpy as np
 from ..core.engine import AFEResult, EngineConfig, EpochRecord
 from ..core.evaluation import DownstreamEvaluator
 from ..datasets.generators import TabularTask
-from ..eval import EvaluationCache, EvaluationService
+from ..eval import EvaluationService
+from ..store import make_eval_backend
 from ..hashing.quantile_sketch import QuantileSketch
 from ..ml.base import sanitize_matrix
 from ..ml.mlp import MLPClassifier
@@ -47,7 +48,7 @@ class LFE:
         self.sketch = QuantileSketch(d=sketch_dim)
         self.registry: OperatorRegistry = default_registry()
         self._predictors: dict[str, MLPClassifier] = {}
-        self.eval_cache = EvaluationCache()
+        self.eval_cache = make_eval_backend(self.config.eval_store_path)
 
     def _make_service(self, evaluator: DownstreamEvaluator) -> EvaluationService:
         return EvaluationService.from_config(evaluator, self.config, self.eval_cache)

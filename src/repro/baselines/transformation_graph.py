@@ -64,9 +64,9 @@ class TransformationGraph:
         self.epsilon = epsilon
         self.alpha = alpha
         self.registry: OperatorRegistry = default_registry()
-        from ..eval import EvaluationCache
+        from ..store import make_eval_backend
 
-        self.eval_cache = EvaluationCache()
+        self.eval_cache = make_eval_backend(self.config.eval_store_path)
 
     # -- transformations over whole nodes ---------------------------------
     def _apply_to_node(

@@ -4,12 +4,15 @@ from . import experiments
 from .curves import curve_points, speedup_at_score, time_to_reach
 from .harness import (
     ALL_METHODS,
+    active_run_store,
     bench_config,
     bench_dataset,
     bench_profile,
     format_table,
     make_method,
+    resume_enabled,
     run_methods,
+    run_single,
 )
 from .multi_seed import SeedSweep, format_seed_sweep, run_multi_seed
 from .stats import improvement_pvalues, paired_pvalue
@@ -21,6 +24,9 @@ __all__ = [
     "bench_config",
     "bench_dataset",
     "make_method",
+    "active_run_store",
+    "resume_enabled",
+    "run_single",
     "run_methods",
     "format_table",
     "paired_pvalue",

@@ -7,15 +7,22 @@ Regenerate any paper table or figure from the shell:
     python -m repro.bench figure9
     REPRO_BENCH_PROFILE=paper python -m repro.bench table3
 
-``list`` shows every available experiment.
+``--store sweep.db`` persists every (dataset, method, seed) cell and
+every downstream score to one SQLite file; adding ``--resume`` replays
+completed cells, so a killed sweep re-run with the same command
+continues where it left off.  ``list`` shows every available
+experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..core.pretrain import default_fpe
+from ..store.backends import EVAL_STORE_ENV
+from ..store.runs import RUN_RESUME_ENV, RUN_STORE_ENV
 from . import experiments
 from .harness import bench_profile
 
@@ -106,28 +113,65 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, help="report output path (report mode only)"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="SQLite file persisting run rows and downstream scores "
+        "(shared across processes and repeated invocations)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay (dataset, method, seed) cells already completed "
+        "in --store instead of re-running them",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        for name in sorted(_EXPERIMENTS):
-            print(name)
-        return 0
-    if args.experiment == "report":
-        return run_report(args.seed, args.out)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+    previous_env: dict[str, str | None] = {}
 
-    runner, formatter, needs_fpe = _EXPERIMENTS[args.experiment]
-    print(f"profile: {bench_profile()}", file=sys.stderr)
-    kwargs: dict = {"seed": args.seed}
-    if args.datasets and args.experiment in (
-        "table1", "figure1", "table3", "table4", "table5",
-    ):
-        kwargs["datasets"] = args.datasets
-    if needs_fpe:
-        print("pre-training FPE model ...", file=sys.stderr)
-        kwargs["fpe"] = default_fpe(seed=args.seed)
-    result = runner(**kwargs)
-    print(formatter(result))
-    return 0
+    def set_env(name: str, value: str) -> None:
+        previous_env.setdefault(name, os.environ.get(name))
+        os.environ[name] = value
+
+    if args.store:
+        # The harness and every engine it builds read these env knobs;
+        # one file backs both the run rows and the score cache (an
+        # explicitly exported REPRO_EVAL_STORE still wins).  Every
+        # change is rolled back on exit so programmatic back-to-back
+        # main() calls never inherit a previous invocation's store.
+        set_env(RUN_STORE_ENV, args.store)
+        if not os.environ.get(EVAL_STORE_ENV):
+            set_env(EVAL_STORE_ENV, args.store)
+        set_env(RUN_RESUME_ENV, "1" if args.resume else "0")
+    try:
+        if args.experiment == "list":
+            for name in sorted(_EXPERIMENTS):
+                print(name)
+            return 0
+        if args.experiment == "report":
+            return run_report(args.seed, args.out)
+
+        runner, formatter, needs_fpe = _EXPERIMENTS[args.experiment]
+        print(f"profile: {bench_profile()}", file=sys.stderr)
+        kwargs: dict = {"seed": args.seed}
+        if args.datasets and args.experiment in (
+            "table1", "figure1", "table3", "table4", "table5",
+        ):
+            kwargs["datasets"] = args.datasets
+        if needs_fpe:
+            print("pre-training FPE model ...", file=sys.stderr)
+            kwargs["fpe"] = default_fpe(seed=args.seed)
+        result = runner(**kwargs)
+        print(formatter(result))
+        return 0
+    finally:
+        for name, value in previous_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from .harness import (
     format_table,
     make_method,
     run_methods,
+    run_single,
 )
 from .stats import improvement_pvalues
 
@@ -86,7 +87,7 @@ def table1_nfs_time(
     config = bench_config(seed=seed, n_epochs=1)
     for name in datasets:
         task = bench_dataset(name)
-        result = make_method("NFS", config).fit(task)
+        result = run_single(task, "NFS", config)
         rows.append(
             {
                 "dataset": name,
@@ -308,7 +309,7 @@ def figure7_learning_curves(
     evaluations: dict[str, int] = {}
     eval_time: dict[str, float] = {}
     for method in methods:
-        result = make_method(method, config, fpe=fpe).fit(task)
+        result = run_single(task, method, config, fpe=fpe)
         curves[method] = curve_points(result)
         evaluations[method] = result.n_downstream_evaluations
         eval_time[method] = result.evaluation_time
@@ -337,23 +338,29 @@ def figure8_sensitivity(
     orders: Sequence[int] = (3, 5, 7),
     seed: int = 0,
 ) -> dict[str, list[dict]]:
-    """Sweep thre, signature dimension d, and max order independently."""
+    """Sweep thre, signature dimension d, and max order independently.
+
+    Safe under the run store: each sweep point differs in either the
+    engine config (thre, max_order) or the FPE constructor identity
+    (dimension d), and run-store cells are keyed by both (see
+    :func:`repro.bench.harness.run_single`).
+    """
     task = bench_dataset(dataset)
     sweeps: dict[str, list[dict]] = {"thre": [], "dimension": [], "max_order": []}
     for thre in thresholds:
         fpe = default_fpe(method="ccws", d=48, seed=seed)
         config = bench_config(seed=seed, thre=thre)
-        result = make_method("E-AFE", config, fpe=fpe).fit(task)
+        result = run_single(task, "E-AFE", config, fpe=fpe)
         sweeps["thre"].append({"value": thre, "score": result.best_score})
     for d in dimensions:
         fpe = default_fpe(method="ccws", d=d, seed=seed)
         config = bench_config(seed=seed)
-        result = make_method("E-AFE", config, fpe=fpe).fit(task)
+        result = run_single(task, "E-AFE", config, fpe=fpe)
         sweeps["dimension"].append({"value": d, "score": result.best_score})
     for order in orders:
         fpe = default_fpe(method="ccws", d=48, seed=seed)
         config = bench_config(seed=seed, max_order=order)
-        result = make_method("E-AFE", config, fpe=fpe).fit(task)
+        result = run_single(task, "E-AFE", config, fpe=fpe)
         sweeps["max_order"].append({"value": order, "score": result.best_score})
     return sweeps
 
@@ -486,8 +493,8 @@ def figure9_scalability(
             n_features=n_features,
             seed=seed,
         )
-        ours = make_method("E-AFE", config, fpe=fpe).fit(task)
-        baseline = make_method("NFS", config).fit(task)
+        ours = run_single(task, "E-AFE", config, fpe=fpe)
+        baseline = run_single(task, "NFS", config)
         sweeps["features"].append(
             {
                 "size": n_features,
@@ -503,8 +510,8 @@ def figure9_scalability(
             n_features=8,
             seed=seed,
         )
-        ours = make_method("E-AFE", config, fpe=fpe).fit(task)
-        baseline = make_method("NFS", config).fit(task)
+        ours = run_single(task, "E-AFE", config, fpe=fpe)
+        baseline = run_single(task, "NFS", config)
         sweeps["samples"].append(
             {
                 "size": n_samples,

@@ -41,6 +41,8 @@ from ..core.fpe import FPEModel
 from ..core.variants import make_variant
 from ..datasets.generators import TabularTask
 from ..datasets.registry import load as load_dataset
+from ..store import RunStore, config_hash
+from ..store.runs import RUN_RESUME_ENV, RUN_STORE_ENV
 
 __all__ = [
     "ALL_METHODS",
@@ -49,6 +51,9 @@ __all__ = [
     "bench_config",
     "bench_dataset",
     "make_method",
+    "active_run_store",
+    "resume_enabled",
+    "run_single",
     "run_methods",
     "format_table",
 ]
@@ -158,18 +163,100 @@ def make_method(name: str, config: EngineConfig, fpe: FPEModel | None = None):
     raise ValueError(f"unknown method {name!r}; expected one of {ALL_METHODS}")
 
 
+_RUN_STORES: dict[str, RunStore] = {}
+
+
+def active_run_store() -> RunStore | None:
+    """RunStore named by ``REPRO_RUN_STORE`` (set by bench ``--store``)."""
+    path = os.environ.get(RUN_STORE_ENV)
+    if not path:
+        return None
+    store = _RUN_STORES.get(path)
+    if store is None:
+        store = RunStore(path)
+        _RUN_STORES[path] = store
+    return store
+
+
+def resume_enabled() -> bool:
+    """Whether completed run-store cells should be replayed, not re-run."""
+    return os.environ.get(RUN_RESUME_ENV, "0") != "0"
+
+
+def _fpe_token(fpe: FPEModel | None) -> str:
+    """FPE identity folded into run-store cell hashes.
+
+    Covers the model's constructor identity (hash family, signature
+    dimension, seed, labelling threshold) — which pins the model
+    exactly for every ``default_fpe``/``tune_fpe`` flow, where the
+    training corpus is a deterministic function of the seed.  Models
+    trained on *custom* corpora under identical hyperparameters are
+    indistinguishable here; such callers must bypass the store.
+    """
+    if fpe is None:
+        return "none"
+    return f"{fpe.method}:{fpe.d}:{fpe.seed}:{fpe.thre}"
+
+
+def run_single(
+    task: TabularTask,
+    method: str,
+    config: EngineConfig,
+    fpe: FPEModel | None = None,
+    run_store: RunStore | None = None,
+    resume: bool | None = None,
+) -> AFEResult:
+    """Run one (dataset, method, seed) cell, through the run store if active.
+
+    With a store (explicit or via ``REPRO_RUN_STORE``), the cell is
+    marked running before the fit and its full result payload is
+    persisted on completion.  With resume enabled (explicit or via
+    ``REPRO_RUN_RESUME``), an already-completed cell is replayed
+    straight from the store — bit-identical, zero fits — which is what
+    lets a killed sweep continue where it left off.
+
+    Cells are keyed by (dataset, method, seed, config-hash +
+    FPE-identity); see :func:`_fpe_token` for what the FPE component
+    does and does not distinguish.
+    """
+    store = run_store if run_store is not None else active_run_store()
+    if store is None:
+        return make_method(method, config, fpe=fpe).fit(task)
+    cell_hash = f"{config_hash(config)}|fpe:{_fpe_token(fpe)}"
+    should_resume = resume_enabled() if resume is None else resume
+    if should_resume:
+        payload = store.completed_payload(
+            task.name, method, config.seed, cell_hash
+        )
+        if payload is not None:
+            return AFEResult.from_dict(payload)
+    store.start(task.name, method, config.seed, cell_hash)
+    result = make_method(method, config, fpe=fpe).fit(task)
+    store.finish(
+        task.name,
+        method,
+        config.seed,
+        cell_hash,
+        result.to_dict(include_matrix=True),
+    )
+    return result
+
+
 def run_methods(
     task: TabularTask,
     methods: Sequence[str],
     config: EngineConfig,
     fpe: FPEModel | None = None,
+    run_store: RunStore | None = None,
+    resume: bool | None = None,
 ) -> dict[str, AFEResult]:
     """Run several methods on one dataset; results keyed by method name."""
-    results: dict[str, AFEResult] = {}
-    for name in methods:
-        engine = make_method(name, config, fpe=fpe)
-        results[name] = engine.fit(task)
-    return results
+    return {
+        name: run_single(
+            task, name, config, fpe=fpe, run_store=run_store, resume=resume
+        )
+        for name in methods
+    }
 
 
 def format_table(

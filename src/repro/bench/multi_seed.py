@@ -17,7 +17,8 @@ import numpy as np
 from ..core.engine import AFEResult, EngineConfig
 from ..core.fpe import FPEModel
 from ..datasets.generators import TabularTask
-from .harness import make_method
+from ..store import RunStore
+from .harness import run_single
 
 __all__ = ["SeedSweep", "run_multi_seed", "format_seed_sweep"]
 
@@ -52,14 +53,23 @@ def run_multi_seed(
     config: EngineConfig,
     seeds: Sequence[int] = (0, 1, 2),
     fpe: FPEModel | None = None,
+    run_store: RunStore | None = None,
+    resume: bool | None = None,
 ) -> SeedSweep:
-    """Run one method on one dataset once per seed."""
+    """Run one method on one dataset once per seed.
+
+    Each seed is one run-store cell: with a store and resume active
+    (see :func:`repro.bench.harness.run_single`), seeds completed by an
+    earlier — possibly killed — sweep are replayed instead of re-run.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     best_scores, evaluations = [], []
     for seed in seeds:
         seeded = replace(config, seed=seed)
-        result: AFEResult = make_method(method, seeded, fpe=fpe).fit(task)
+        result: AFEResult = run_single(
+            task, method, seeded, fpe=fpe, run_store=run_store, resume=resume
+        )
         best_scores.append(result.best_score)
         evaluations.append(result.n_downstream_evaluations)
     return SeedSweep(

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..datasets.generators import TabularTask
-from ..eval import BACKENDS, EvaluationCache, EvaluationService
+from ..eval import BACKENDS, EvaluationService
+from ..store import make_eval_backend
 from ..ml.forest import RandomForestClassifier, RandomForestRegressor
 from ..rl.buffer import ReplayBuffer, Transition
 from ..rl.environment import FeatureSpace
@@ -64,6 +65,9 @@ class EngineConfig:
     eval_cache: bool = True  # memoize downstream scores by fingerprint
     eval_backend: str = "serial"  # score_batch backend: "serial"|"process"
     eval_workers: int | None = None  # process-backend pool size
+    eval_store_path: str | None = None  # durable shared score store
+    # (SQLite file; None falls back to the REPRO_EVAL_STORE env var,
+    # and an unset env var means a per-process in-memory cache)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -162,6 +166,45 @@ class AFEResult:
             payload["selected_matrix"] = self.selected_matrix.tolist()
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AFEResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        This is how the bench run store replays completed cells on
+        resume.  Python's JSON float round-trip is exact, so a restored
+        result is bit-identical to the one that was stored.
+        """
+        result = cls(
+            dataset=payload["dataset"],
+            method=payload["method"],
+            task=payload["task"],
+            base_score=payload["base_score"],
+            best_score=payload["best_score"],
+            selected_features=list(payload["selected_features"]),
+            history=[
+                EpochRecord(
+                    epoch=entry["epoch"],
+                    elapsed=entry["elapsed"],
+                    n_evaluations=entry["n_evaluations"],
+                    best_score=entry["best_score"],
+                )
+                for entry in payload.get("history", [])
+            ],
+            n_downstream_evaluations=payload.get("n_downstream_evaluations", 0),
+            n_generated=payload.get("n_generated", 0),
+            n_filtered_out=payload.get("n_filtered_out", 0),
+            n_cache_hits=payload.get("n_cache_hits", 0),
+            n_cache_misses=payload.get("n_cache_misses", 0),
+            wall_time=payload.get("wall_time", 0.0),
+            generation_time=payload.get("generation_time", 0.0),
+            evaluation_time=payload.get("evaluation_time", 0.0),
+        )
+        if payload.get("selected_matrix") is not None:
+            result.selected_matrix = np.asarray(
+                payload["selected_matrix"], dtype=np.float64
+            )
+        return result
+
 
 class AFEEngine:
     """RL-based AFE training loop with pluggable filtering strategy."""
@@ -177,7 +220,10 @@ class AFEEngine:
         self.config = config or EngineConfig()
         # Persistent across fit() calls: re-running the same engine over
         # the same task replays candidate scores instead of refitting.
-        self.eval_cache = EvaluationCache()
+        # With a configured store path (or REPRO_EVAL_STORE) the cache
+        # writes through to SQLite, so hits are shared across processes
+        # and survive the engine itself.
+        self.eval_cache = make_eval_backend(self.config.eval_store_path)
 
     # -- helpers ------------------------------------------------------------
     def _select_agent_features(self, task: TabularTask) -> TabularTask:
@@ -362,10 +408,11 @@ class AFEEngine:
             controller.reset_episode()
             steps: list[TrajectoryStep] = []
             for agent_index in range(space.n_agents):
-                # Act/generate/filter sequentially, deferring downstream
-                # scores to one batch per agent sweep.  Each entry:
-                # (index into steps, state, action, feature).
-                pending: list[tuple] = []
+                # Act/generate sequentially, deferring the FPE filter
+                # and downstream scores to one batch each per agent
+                # sweep.  Each entry: (index into steps, state, action,
+                # feature).
+                generated: list[tuple] = []
                 for _ in range(self.config.transforms_per_agent):
                     state = space.state_vector(agent_index)
                     action = controller.act(agent_index, state)
@@ -378,16 +425,28 @@ class AFEEngine:
                         )
                         continue
                     result.n_generated += 1
-                    if not self.filter.keep(feature.values):
-                        result.n_filtered_out += 1
-                        steps.append(
-                            TrajectoryStep(agent_index, state, action, -self.config.thre)
-                        )
-                        continue
                     steps.append(
                         TrajectoryStep(agent_index, state, action, 0.0)
                     )
-                    pending.append((len(steps) - 1, state, action, feature))
+                    generated.append((len(steps) - 1, state, action, feature))
+                # Filter the sweep in one batch (one vectorized FPE
+                # inference); rejected candidates get the -thre reward
+                # their step would have received in the sequential loop.
+                pending: list[tuple] = []
+                if generated:
+                    keeps = self.filter.keep_batch(
+                        [feature.values for _, _, _, feature in generated]
+                    )
+                    for (slot, state, action, feature), kept in zip(
+                        generated, keeps
+                    ):
+                        if kept:
+                            pending.append((slot, state, action, feature))
+                            continue
+                        result.n_filtered_out += 1
+                        steps[slot] = TrajectoryStep(
+                            agent_index, state, action, -self.config.thre
+                        )
                 queue = pending
                 while queue:
                     base = space.feature_matrix()

@@ -7,6 +7,12 @@ process-pool backends; :class:`FeatureMatrixArena` turns per-candidate
 matrix construction into an O(n) buffer write.  The un-cached primitive
 (:class:`repro.core.evaluation.DownstreamEvaluator`) stays the unit of
 accounting: its counters always mean *real* downstream fits.
+
+Score stores are pluggable: ``EvaluationCache`` is now an alias for
+:class:`repro.store.MemoryBackend`, and :func:`repro.store.
+make_eval_backend` composes it with a durable SQLite layer when a
+store path is configured (``EngineConfig.eval_store_path`` /
+``REPRO_EVAL_STORE``).
 """
 
 from .arena import FeatureMatrixArena

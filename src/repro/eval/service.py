@@ -8,8 +8,12 @@ changing a single score:
 * **memoization** — candidates are fingerprinted (quantile-sketch
   bucket + exact content hash, keyed on the base-matrix token), so a
   duplicate candidate never pays a second cross-validated fit.  The
-  backing :class:`EvaluationCache` can be shared across runs: an engine
-  re-run over the same tasks replays scores out of the cache.
+  backing store is any :class:`~repro.store.CacheBackend`:
+  :class:`~repro.store.MemoryBackend` (the default, per-process) or a
+  durable :class:`~repro.store.SqliteBackend` shared across OS
+  processes and runs — a warm store replays an identical engine
+  ``fit()`` without a single real downstream fit, even from a fresh
+  process.
 * **fold reuse** — CV splits are planned once per target via
   :class:`~repro.eval.folds.FoldCache` and passed into every fit.
 * **batching** — :meth:`score_batch` scores a sweep's surviving
@@ -27,11 +31,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..store.backends import CacheBackend, MemoryBackend
 from .arena import FeatureMatrixArena
 from .fingerprint import ColumnFingerprinter, content_digest
 from .folds import FoldCache
@@ -70,33 +76,9 @@ class EvalStats:
         return self.n_hits / lookups if lookups else 0.0
 
 
-class EvaluationCache:
-    """Bounded score store shared by one or more services.
-
-    Keys are the service's flat fingerprint strings; values are scores.
-    FIFO eviction — a score is cheap to recompute and the bound only
-    exists to keep unbounded sweeps from accumulating forever.
-    """
-
-    def __init__(self, max_entries: int = 65536) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be positive")
-        self._max_entries = max_entries
-        self._scores: dict[str, float] = {}
-
-    def __len__(self) -> int:
-        return len(self._scores)
-
-    def get(self, key: str) -> float | None:
-        return self._scores.get(key)
-
-    def put(self, key: str, score: float) -> None:
-        if len(self._scores) >= self._max_entries and key not in self._scores:
-            self._scores.pop(next(iter(self._scores)))
-        self._scores[key] = score
-
-    def clear(self) -> None:
-        self._scores.clear()
+#: Back-compat name: the PR-1 in-process score store now lives in
+#: :mod:`repro.store.backends` as the default cache backend.
+EvaluationCache = MemoryBackend
 
 
 def _score_chunk(payload) -> list[tuple[float, float]]:
@@ -128,7 +110,10 @@ class EvaluationService:
         The un-cached primitive; its ``n_evaluations`` /
         ``total_eval_time`` counters keep counting real fits only.
     cache:
-        Optional shared :class:`EvaluationCache`.  ``None`` disables
+        Optional shared score store — any
+        :class:`~repro.store.CacheBackend` (in-memory, SQLite-backed,
+        or a write-through composition of both; see
+        :func:`repro.store.make_eval_backend`).  ``None`` disables
         memoization entirely (every lookup is a miss).
     backend:
         ``"serial"`` or ``"process"`` — how :meth:`score_batch` scores
@@ -142,7 +127,7 @@ class EvaluationService:
     def __init__(
         self,
         evaluator: "DownstreamEvaluator",
-        cache: EvaluationCache | None = None,
+        cache: CacheBackend | None = None,
         backend: str = "serial",
         n_workers: int | None = None,
         fold_cache: FoldCache | None = None,
@@ -164,14 +149,16 @@ class EvaluationService:
         )
         self._arena: FeatureMatrixArena | None = None
         self._arena_token: str | None = None
-        self._digest_of_bucket: dict[str, str] = {}
+        # bucket -> first content digest seen, bounded LRU (see
+        # _note_near_duplicate).
+        self._digest_of_bucket: OrderedDict[str, str] = OrderedDict()
 
     @classmethod
     def from_config(
         cls,
         evaluator: "DownstreamEvaluator",
         config,
-        cache: EvaluationCache | None,
+        cache: CacheBackend | None,
     ) -> "EvaluationService":
         """Build a service from an :class:`~repro.core.engine.EngineConfig`.
 
@@ -238,15 +225,42 @@ class EvaluationService:
         if self.cache is not None:
             self.cache.put(key, score)
 
+    def _store_many(self, items: list[tuple[str, float]]) -> None:
+        """Write a batch of fresh scores through in one backend call.
+
+        Durable backends commit the whole batch in one transaction
+        (one fsync instead of one per candidate); plain backends fall
+        back to per-entry puts.
+        """
+        if self.cache is None or not items:
+            return
+        put_many = getattr(self.cache, "put_many", None)
+        if put_many is not None:
+            put_many(items)
+        else:
+            for key, score in items:
+                self.cache.put(key, score)
+
+    #: Bound on the near-duplicate bucket map (LRU-evicted).
+    _NEAR_DUPLICATE_CAPACITY = 8192
+
     def _note_near_duplicate(self, column: np.ndarray) -> None:
-        """Cold-path (miss-only) sketch accounting; see :class:`EvalStats`."""
+        """Cold-path (miss-only) sketch accounting; see :class:`EvalStats`.
+
+        The bucket map is a bounded LRU: touching a bucket refreshes
+        it, and overflow evicts the least-recently-seen bucket only —
+        so near-duplicate statistics stay meaningful over long runs
+        instead of resetting wholesale at the bound.
+        """
         bucket, digest = self._fingerprinter.fingerprint(column)
         seen = self._digest_of_bucket.get(bucket)
         if seen is None:
-            if len(self._digest_of_bucket) >= 8192:
-                self._digest_of_bucket.clear()
+            if len(self._digest_of_bucket) >= self._NEAR_DUPLICATE_CAPACITY:
+                self._digest_of_bucket.popitem(last=False)
             self._digest_of_bucket[bucket] = digest
-        elif seen != digest:
+            return
+        self._digest_of_bucket.move_to_end(bucket)
+        if seen != digest:
             self.stats.n_near_duplicates += 1
 
     def evaluate(
@@ -322,10 +336,12 @@ class EvaluationService:
                 fresh = self._score_missing_serial(
                     base, token, columns, missing, y
                 )
+            fresh_entries: list[tuple[str, float]] = []
             for index, score in zip(missing, fresh):
                 for duplicate in missing_of_key[keys[index]]:
                     scores[duplicate] = score
-                self._store(keys[index], score)
+                fresh_entries.append((keys[index], score))
+            self._store_many(fresh_entries)
         return [float(score) for score in scores]
 
     def iter_scores(

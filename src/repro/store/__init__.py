@@ -1,0 +1,42 @@
+"""Persistence subsystem: shared evaluation cache + resumable run store.
+
+Two durable layers back the evaluation and bench stacks:
+
+* **Score cache backends** (:mod:`repro.store.backends`) — pluggable
+  stores behind :class:`~repro.eval.service.EvaluationService`.
+  :class:`MemoryBackend` is the per-process default;
+  :class:`SqliteBackend` (WAL mode, concurrency-safe) shares hits
+  across OS processes and runs; :class:`WriteThroughBackend` layers a
+  memory front over the durable back.  :func:`make_eval_backend` picks
+  the right composition from an explicit path or ``REPRO_EVAL_STORE``.
+* **Run store** (:mod:`repro.store.runs`) — (dataset, method, seed,
+  config-hash) experiment rows with full result payloads, written by
+  the bench harness.  ``python -m repro.bench <exp> --store s.db
+  --resume`` skips already-completed cells, so a killed sweep continues
+  where it left off.
+
+``python -m repro.store stats|vacuum|export <path>`` inspects and
+maintains a store file.
+"""
+
+from .backends import (
+    CacheBackend,
+    MemoryBackend,
+    SqliteBackend,
+    WriteThroughBackend,
+    make_eval_backend,
+    resolve_store_path,
+)
+from .runs import RunRecord, RunStore, config_hash
+
+__all__ = [
+    "CacheBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "WriteThroughBackend",
+    "RunRecord",
+    "RunStore",
+    "config_hash",
+    "make_eval_backend",
+    "resolve_store_path",
+]

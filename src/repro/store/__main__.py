@@ -1,0 +1,98 @@
+"""Store maintenance CLI.
+
+Inspect or maintain a store file (score cache and/or run rows — both
+subsystems can share one database):
+
+    python -m repro.store stats  runs.db
+    python -m repro.store vacuum runs.db
+    python -m repro.store export runs.db --out dump.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .backends import SqliteBackend
+from .runs import RunStore
+
+
+def _stats(path: str) -> dict:
+    scores = SqliteBackend(path)
+    runs = RunStore(path)
+    by_status = runs.counts()
+    return {
+        "path": path,
+        "file_bytes": os.path.getsize(path),
+        "n_scores": len(scores),
+        "n_runs": len(runs),
+        "runs_by_status": by_status,
+    }
+
+
+def _export(path: str) -> dict:
+    scores = SqliteBackend(path)
+    runs = RunStore(path)
+    return {
+        "scores": [
+            {"key": key, "score": score} for key, score in scores.items()
+        ],
+        "runs": [
+            {
+                "dataset": record.dataset,
+                "method": record.method,
+                "seed": record.seed,
+                "config_hash": record.config_hash,
+                "status": record.status,
+                "best_score": record.best_score,
+                "n_evaluations": record.n_evaluations,
+                "n_cache_hits": record.n_cache_hits,
+                "n_cache_misses": record.n_cache_misses,
+                "wall_time": record.wall_time,
+            }
+            for record in runs.records()
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect or maintain an evaluation/run store file.",
+    )
+    parser.add_argument("command", choices=("stats", "vacuum", "export"))
+    parser.add_argument("path", help="store database file")
+    parser.add_argument(
+        "--out", default=None, help="output file (export mode; default stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    # Inspection must never create state: a typo'd path errors out
+    # instead of silently materializing an empty database.
+    if not os.path.exists(args.path):
+        print(f"no store at {args.path}", file=sys.stderr)
+        return 1
+
+    if args.command == "stats":
+        print(json.dumps(_stats(args.path), indent=2))
+        return 0
+    if args.command == "vacuum":
+        before = os.path.getsize(args.path)
+        SqliteBackend(args.path).vacuum()
+        after = os.path.getsize(args.path)
+        print(f"vacuumed {args.path}: {before} -> {after} bytes")
+        return 0
+    document = json.dumps(_export(args.path), indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Persistent experiment rows with resume semantics.
+
+The bench harness runs sweeps shaped like (dataset × method × seed);
+a paper-profile sweep takes hours, and a killed process used to throw
+every completed cell away.  :class:`RunStore` turns each cell into a
+durable SQLite row: the harness marks a cell ``running`` before the
+fit, stores the full :class:`~repro.core.engine.AFEResult` payload on
+completion, and — when resuming — serves completed cells straight from
+the store instead of re-running them.
+
+A cell is keyed by ``(dataset, method, seed, config_hash)``.  The
+config hash covers every :class:`~repro.core.engine.EngineConfig`
+field *except* the seed (the seed is its own axis), so changing any
+hyperparameter invalidates old rows instead of silently replaying
+results produced under different settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from .backends import SqliteConnectionOwner
+
+__all__ = ["RunRecord", "RunStore", "config_hash"]
+
+#: Environment variables the bench harness reads (set by ``--store`` /
+#: ``--resume`` on ``python -m repro.bench``).
+RUN_STORE_ENV = "REPRO_RUN_STORE"
+RUN_RESUME_ENV = "REPRO_RUN_RESUME"
+
+#: Fields that must not invalidate stored cells.  The seed is its own
+#: run-store axis; the ``eval_*`` knobs only choose *how* scores are
+#: computed or cached (PR 1 guarantees serial/process and cached/
+#: uncached scores are bit-equal), so resuming a serial sweep under
+#: ``eval_backend="process"`` — or against a moved store file — must
+#: replay its completed cells instead of re-running everything.
+_HASH_EXCLUDED_FIELDS = (
+    "seed",
+    "eval_backend",
+    "eval_workers",
+    "eval_cache",
+    "eval_store_path",
+)
+
+
+def config_hash(config) -> str:
+    """Stable content hash of an engine configuration.
+
+    Accepts any dataclass (``EngineConfig`` in practice).  The seed and
+    the execution-only ``eval_*`` knobs are excluded (see
+    ``_HASH_EXCLUDED_FIELDS``); remaining fields are serialized in
+    sorted order so the hash survives field reordering.
+    """
+    fields = dataclasses.asdict(config)
+    for name in _HASH_EXCLUDED_FIELDS:
+        fields.pop(name, None)
+    serialized = json.dumps(fields, sort_keys=True, default=repr)
+    return hashlib.blake2b(serialized.encode(), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One experiment cell as stored (metrics duplicated for querying)."""
+
+    dataset: str
+    method: str
+    seed: int
+    config_hash: str
+    status: str  # "running" | "completed"
+    best_score: float | None = None
+    n_evaluations: int | None = None
+    n_cache_hits: int | None = None
+    n_cache_misses: int | None = None
+    wall_time: float | None = None
+    updated_at: float | None = None
+
+
+class RunStore(SqliteConnectionOwner):
+    """Durable (dataset, method, seed, config) → result rows.
+
+    Inherits the fork-safe WAL/busy-timeout connection management of
+    :class:`~repro.store.backends.SqliteConnectionOwner` and may live
+    in the same database file as the score cache — the two subsystems
+    use disjoint tables.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS runs (
+        dataset       TEXT NOT NULL,
+        method        TEXT NOT NULL,
+        seed          INTEGER NOT NULL,
+        config_hash   TEXT NOT NULL,
+        status        TEXT NOT NULL,
+        best_score    REAL,
+        n_evaluations INTEGER,
+        n_cache_hits  INTEGER,
+        n_cache_misses INTEGER,
+        wall_time     REAL,
+        payload       TEXT,
+        updated_at    REAL NOT NULL,
+        PRIMARY KEY (dataset, method, seed, config_hash)
+    )
+    """
+
+    # -- writing -----------------------------------------------------------
+    def start(
+        self, dataset: str, method: str, seed: int, config_hash: str
+    ) -> None:
+        """Mark a cell ``running`` (no-op if it already completed)."""
+        self._connection().execute(
+            "INSERT INTO runs (dataset, method, seed, config_hash, status,"
+            " updated_at) VALUES (?, ?, ?, ?, 'running', ?) "
+            "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE SET "
+            "updated_at = excluded.updated_at "
+            "WHERE runs.status != 'completed'",
+            (dataset, method, seed, config_hash, time.time()),
+        )
+
+    def finish(
+        self,
+        dataset: str,
+        method: str,
+        seed: int,
+        config_hash: str,
+        payload: dict,
+    ) -> None:
+        """Store a completed cell's full result payload plus metrics."""
+        self._connection().execute(
+            "INSERT INTO runs (dataset, method, seed, config_hash, status,"
+            " best_score, n_evaluations, n_cache_hits, n_cache_misses,"
+            " wall_time, payload, updated_at)"
+            " VALUES (?, ?, ?, ?, 'completed', ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE SET "
+            "status = 'completed', best_score = excluded.best_score, "
+            "n_evaluations = excluded.n_evaluations, "
+            "n_cache_hits = excluded.n_cache_hits, "
+            "n_cache_misses = excluded.n_cache_misses, "
+            "wall_time = excluded.wall_time, payload = excluded.payload, "
+            "updated_at = excluded.updated_at",
+            (
+                dataset,
+                method,
+                seed,
+                config_hash,
+                payload.get("best_score"),
+                payload.get("n_downstream_evaluations"),
+                payload.get("n_cache_hits"),
+                payload.get("n_cache_misses"),
+                payload.get("wall_time"),
+                json.dumps(payload),
+                time.time(),
+            ),
+        )
+
+    # -- reading -----------------------------------------------------------
+    def completed_payload(
+        self, dataset: str, method: str, seed: int, config_hash: str
+    ) -> dict | None:
+        """Stored result of a completed cell, or ``None``.
+
+        Rows left in ``running`` state by a killed process return
+        ``None`` — a resumed sweep re-runs them.
+        """
+        row = self._connection().execute(
+            "SELECT payload FROM runs WHERE dataset = ? AND method = ? AND"
+            " seed = ? AND config_hash = ? AND status = 'completed'",
+            (dataset, method, seed, config_hash),
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return json.loads(row[0])
+
+    def records(self, status: str | None = None) -> list[RunRecord]:
+        """Every stored cell (optionally filtered by status)."""
+        query = (
+            "SELECT dataset, method, seed, config_hash, status, best_score,"
+            " n_evaluations, n_cache_hits, n_cache_misses, wall_time,"
+            " updated_at FROM runs"
+        )
+        parameters: tuple = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            parameters = (status,)
+        query += " ORDER BY dataset, method, seed"
+        return [
+            RunRecord(*row)
+            for row in self._connection().execute(query, parameters)
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Row counts by status, e.g. ``{"completed": 12, "running": 1}``."""
+        return {
+            status: int(count)
+            for status, count in self._connection().execute(
+                "SELECT status, COUNT(*) FROM runs GROUP BY status"
+            )
+        }
+
+    def __len__(self) -> int:
+        row = self._connection().execute("SELECT COUNT(*) FROM runs").fetchone()
+        return int(row[0])
+
+    def clear(self) -> None:
+        """Drop every run row."""
+        self._connection().execute("DELETE FROM runs")

@@ -34,3 +34,34 @@ class TestCLI:
         assert main(["table1", "--datasets", "labor"]) == 0
         out = capsys.readouterr().out
         assert "labor" in out
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+
+    def test_store_and_resume_end_to_end(self, tmp_path, monkeypatch, capsys):
+        # Cold run populates the store; warm --resume run replays it
+        # (identical rendered table, one completed run-store cell).
+        from repro.store import RunStore
+
+        import os
+
+        path = str(tmp_path / "cli-store.db")
+        monkeypatch.delenv("REPRO_RUN_STORE", raising=False)
+        monkeypatch.delenv("REPRO_RUN_RESUME", raising=False)
+        monkeypatch.delenv("REPRO_EVAL_STORE", raising=False)
+        arguments = [
+            "table1", "--datasets", "labor", "--store", path, "--resume",
+        ]
+        assert main(list(arguments)) == 0
+        cold = capsys.readouterr().out
+        assert main(list(arguments)) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert RunStore(path).counts() == {"completed": 1}
+        # main() rolls back every env var it set: a later in-process
+        # invocation must not inherit this store.
+        for variable in (
+            "REPRO_RUN_STORE", "REPRO_RUN_RESUME", "REPRO_EVAL_STORE",
+        ):
+            assert variable not in os.environ

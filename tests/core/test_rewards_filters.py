@@ -128,3 +128,46 @@ class TestFilters:
         fpe_filter = FPEFilter(model)
         column = np.random.default_rng(1).normal(size=50)
         assert fpe_filter.proba(column) == model.predict_proba(column)
+
+
+class TestBatchFilters:
+    def _fpe_filter(self):
+        model = FPEModel(d=8, seed=0)
+        H = np.random.default_rng(0).normal(size=(20, 8))
+        labels = (H[:, 0] > 0).astype(int)
+        model.fit_signatures(H, labels)
+        return FPEFilter(model)
+
+    def _columns(self, n=7):
+        rng = np.random.default_rng(3)
+        return [rng.normal(size=40) for _ in range(n)]
+
+    def test_fpe_batch_matches_individual(self):
+        fpe_filter = self._fpe_filter()
+        columns = self._columns()
+        single = np.array([fpe_filter.proba(c) for c in columns])
+        batch = fpe_filter.proba_batch(columns)
+        # One vectorized classifier call; agrees to within BLAS
+        # reduction-order jitter, and decisions agree exactly.
+        np.testing.assert_allclose(batch, single, rtol=0, atol=1e-12)
+        assert list(fpe_filter.keep_batch(columns)) == [
+            fpe_filter.keep(c) for c in self._columns()
+        ]
+
+    def test_random_filter_batch_preserves_rng_order(self):
+        columns = self._columns()
+        looped = RandomFilter(keep_rate=0.5, seed=5)
+        batched = RandomFilter(keep_rate=0.5, seed=5)
+        assert [looped.keep(c) for c in columns] == list(
+            batched.keep_batch(columns)
+        )
+
+    def test_keep_all_batch(self):
+        assert list(KeepAllFilter().keep_batch(self._columns(3))) == [
+            True, True, True,
+        ]
+
+    def test_empty_batch(self):
+        fpe_filter = self._fpe_filter()
+        assert fpe_filter.proba_batch([]).shape == (0,)
+        assert fpe_filter.keep_batch([]).shape == (0,)

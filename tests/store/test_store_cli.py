@@ -1,0 +1,60 @@
+"""python -m repro.store maintenance CLI."""
+
+import json
+
+import pytest
+
+from repro.store import RunStore, SqliteBackend
+from repro.store.__main__ import main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    path = str(tmp_path / "store.db")
+    backend = SqliteBackend(path)
+    backend.put_many([("a", 1.0), ("b", 2.0)])
+    store = RunStore(path)
+    store.finish("ds", "NFS", 0, "hash", {"best_score": 0.9, "wall_time": 1.0})
+    store.start("ds", "NFS", 1, "hash")
+    return path
+
+
+class TestStoreCLI:
+    def test_stats(self, populated, capsys):
+        assert main(["stats", populated]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_scores"] == 2
+        assert stats["n_runs"] == 2
+        assert stats["runs_by_status"] == {"completed": 1, "running": 1}
+
+    def test_export_stdout(self, populated, capsys):
+        assert main(["export", populated]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert {entry["key"] for entry in document["scores"]} == {"a", "b"}
+        statuses = {run["status"] for run in document["runs"]}
+        assert statuses == {"completed", "running"}
+
+    def test_export_to_file(self, populated, tmp_path, capsys):
+        out = str(tmp_path / "dump.json")
+        assert main(["export", populated, "--out", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert len(document["scores"]) == 2
+
+    def test_vacuum(self, populated, capsys):
+        assert main(["vacuum", populated]) == 0
+        assert "vacuumed" in capsys.readouterr().out
+        assert SqliteBackend(populated).integrity_ok()
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "absent.db")]) == 1
+
+    def test_stats_never_creates_a_store(self, tmp_path, capsys):
+        # Inspection must not materialize an empty database on a typo.
+        path = tmp_path / "typo.db"
+        assert main(["stats", str(path)]) == 1
+        assert not path.exists()
+
+    def test_unknown_command_rejected(self, populated):
+        with pytest.raises(SystemExit):
+            main(["defrag", populated])

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.bench",
+    "repro.store",
 ]
 
 
