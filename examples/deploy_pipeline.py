@@ -1,78 +1,94 @@
-"""Deploying an engineered feature set: train once, infer anywhere.
+"""Deploying an engineered feature set: fit once, serve anywhere.
 
 Run:
     python examples/deploy_pipeline.py
 
-The production story behind the paper's Section III-D reuse argument:
-1. pre-train the FPE model and *persist it* (it is reused across every
-   future dataset without re-labelling the public corpus);
-2. run E-AFE on a training set;
-3. compile the selected features into a FeatureTransformer, persist it,
-   and apply it to unseen rows — the inference-time path.
+The production story behind the paper's Section III-D reuse argument,
+on the new front-door API:
+1. fit an ``AutoFeatureEngineer`` on today's training rows;
+2. save its ``FeaturePlan`` — one versioned JSON artifact carrying the
+   selected expressions, input schema, operator fingerprint, FPE
+   identity, and provenance;
+3. reload the plan **in a fresh OS process** (the serving container)
+   and transform unseen rows — verified here to be bit-identical to
+   the process that produced it.
 """
 
+import subprocess
+import sys
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro import EAFE, EngineConfig, pretrain_fpe
-from repro.core import FeatureTransformer, load_fpe, save_fpe
-from repro.datasets import make_classification
+from repro import AutoFeatureEngineer, EngineConfig, pretrain_fpe
 from repro.ml import RandomForestClassifier, accuracy_score
 
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="eafe-deploy-"))
 
-    print("1) Pre-train the FPE model and persist it ...")
+    print("1) Pre-train the FPE model (reused across every future dataset) ...")
     fpe = pretrain_fpe(n_train=6, n_validation=2, scale=0.25, seed=0)
-    fpe_path = workdir / "fpe.json"
-    save_fpe(fpe, fpe_path)
-    print(f"   saved -> {fpe_path} ({fpe_path.stat().st_size} bytes)")
 
-    print("2) Feature search on the training split ...")
+    print("2) Fit AutoFeatureEngineer on the training split ...")
     # One generating process, split into today's training rows and an
     # unseen "tomorrow" batch.
+    from repro.datasets import make_classification
+
     full = make_classification(n_samples=450, n_features=6, seed=123)
     rng = np.random.default_rng(0)
     order = rng.permutation(full.n_samples)
-    train = type(full)(
-        name="train", task="C",
-        X=full.X.take(order[:300]), y=full.y[order[:300]],
-    )
-    unseen = type(full)(
-        name="unseen", task="C",
-        X=full.X.take(order[300:]), y=full.y[order[300:]],
-    )
+    X, y = full.X.to_array(), full.y
+    X_train, y_train = X[order[:300]], y[order[:300]]
+    X_unseen, y_unseen = X[order[300:]], y[order[300:]]
+
     config = EngineConfig(
         n_epochs=5, stage1_epochs=2, transforms_per_agent=3,
         n_splits=3, n_estimators=5, seed=0,
     )
-    result = EAFE(load_fpe(fpe_path), config).fit(train)
+    afe = AutoFeatureEngineer(method="E-AFE", config=config, fpe=fpe)
+    afe.fit(X_train, y_train)
+    result = afe.result_
     print(
         f"   {result.base_score:.4f} -> {result.best_score:.4f} "
-        f"({len(result.selected_features)} features)"
+        f"({afe.plan_.n_features} features)"
     )
 
-    print("3) Compile + persist the feature pipeline ...")
-    transformer = FeatureTransformer.from_result(result)
-    pipeline_path = workdir / "features.json"
-    transformer.save(pipeline_path)
-    print(f"   saved -> {pipeline_path}")
-    print(f"   needs raw columns: {sorted(transformer.required_columns)}")
+    print("3) Save the FeaturePlan artifact ...")
+    plan_path = workdir / "features.plan.json"
+    afe.save_plan(plan_path)
+    print(f"   saved -> {plan_path} ({plan_path.stat().st_size} bytes)")
+    print(f"   provenance: {afe.plan_.provenance}")
 
-    print("4) Inference on unseen rows with the restored pipeline ...")
-    restored = FeatureTransformer.load(pipeline_path)
-    # Fit the downstream model on engineered training features.
+    print("4) Reload + transform in a FRESH OS process (the serving path) ...")
+    x_path = workdir / "unseen.npy"
+    out_path = workdir / "served.npy"
+    np.save(x_path, X_unseen)
+    serve_script = (
+        "import sys\n"
+        "import numpy as np\n"
+        "from repro.api import FeaturePlan\n"
+        "plan = FeaturePlan.load(sys.argv[1])\n"
+        "np.save(sys.argv[3], plan.transform(np.load(sys.argv[2])))\n"
+    )
+    subprocess.run(
+        [sys.executable, "-c", serve_script,
+         str(plan_path), str(x_path), str(out_path)],
+        check=True,
+    )
+    served = np.load(out_path)
+    in_process = afe.transform(X_unseen)
+    identical = served.tobytes() == in_process.tobytes()
+    print(f"   fresh-process output bit-identical to in-process: {identical}")
+
+    print("5) Downstream model on engineered vs raw features ...")
     model = RandomForestClassifier(n_estimators=10, seed=0)
-    model.fit(restored.transform_array(train.X), train.y)
+    model.fit(afe.transform(X_train), y_train)
     raw_model = RandomForestClassifier(n_estimators=10, seed=0)
-    raw_model.fit(train.X.to_array(), train.y)
-    engineered_acc = accuracy_score(
-        unseen.y, model.predict(restored.transform_array(unseen.X))
-    )
-    raw_acc = accuracy_score(unseen.y, raw_model.predict(unseen.X.to_array()))
+    raw_model.fit(X_train, y_train)
+    engineered_acc = accuracy_score(y_unseen, model.predict(served))
+    raw_acc = accuracy_score(y_unseen, raw_model.predict(X_unseen))
     print(f"   raw-feature accuracy on unseen batch:        {raw_acc:.4f}")
     print(f"   engineered-feature accuracy on unseen batch: {engineered_acc:.4f}")
 

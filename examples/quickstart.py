@@ -1,16 +1,16 @@
-"""Quickstart: engineer features for one dataset with E-AFE.
+"""Quickstart: engineer features through the sklearn-style front door.
 
 Run:
     python examples/quickstart.py
 
-Walks the full happy path of the public API:
-1. pre-train the Feature Pre-Evaluation (FPE) model on a slice of the
-   public corpus (the paper pre-trains once and reuses it everywhere);
-2. load a Table III target dataset;
-3. run E-AFE and inspect what it found.
+The whole public API in four lines: construct an
+``AutoFeatureEngineer``, ``fit(X, y)``, ``transform(X)``, save the
+``FeaturePlan``.  Everything else — task construction, method
+dispatch through the searcher registry, FPE wiring, eval caching —
+happens behind the estimator.
 """
 
-from repro import EAFE, EngineConfig, pretrain_fpe
+from repro import AutoFeatureEngineer, EngineConfig, pretrain_fpe
 from repro.datasets import load
 
 
@@ -23,7 +23,7 @@ def main() -> None:
     task = load("PimaIndian", max_samples=300)
     print(f"   {task.name}: {task.n_samples} samples x {task.n_features} features")
 
-    print("3) Running E-AFE (reduced epochs for a quick demo) ...")
+    print("3) Fitting AutoFeatureEngineer (reduced epochs for a quick demo) ...")
     config = EngineConfig(
         n_epochs=6,
         stage1_epochs=2,
@@ -32,7 +32,9 @@ def main() -> None:
         n_estimators=5,
         seed=0,
     )
-    result = EAFE(fpe, config).fit(task)
+    afe = AutoFeatureEngineer(method="E-AFE", config=config, fpe=fpe)
+    engineered = afe.fit_transform(task.X, task.y)
+    result = afe.result_
 
     print()
     print(f"   base score (raw features):      {result.base_score:.4f}")
@@ -43,10 +45,16 @@ def main() -> None:
     print(f"   filtered out by FPE:            {result.n_filtered_out}")
     drop_rate = result.n_filtered_out / max(result.n_generated, 1)
     print(f"   drop rate:                      {drop_rate:.0%}")
+    print(f"   engineered matrix shape:        {engineered.shape}")
     print()
-    print("   engineered feature set:")
-    for name in result.selected_features:
+    print("   the deployable plan:")
+    print(f"     {afe.plan_!r}")
+    for name in afe.plan_.output_columns:
         print(f"     - {name}")
+    print()
+    print("   persist it with afe.save_plan('features.plan.json') and serve")
+    print("   it anywhere with FeaturePlan.load(...).transform(X) — see")
+    print("   examples/deploy_pipeline.py for the full production story.")
 
 
 if __name__ == "__main__":

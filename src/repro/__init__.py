@@ -10,13 +10,19 @@ regenerates every table and figure of the evaluation section.
 
 Quickstart
 ----------
->>> from repro import EAFE, EngineConfig, pretrain_fpe
+>>> from repro import AutoFeatureEngineer, pretrain_fpe
 >>> from repro.datasets import load
 >>> fpe = pretrain_fpe(n_train=6, n_validation=2, scale=0.3)
 >>> task = load("PimaIndian", max_samples=300)
->>> result = EAFE(fpe, EngineConfig(n_epochs=5, n_splits=3)).fit(task)
->>> result.best_score >= result.base_score
+>>> afe = AutoFeatureEngineer(method="E-AFE", fpe=fpe, n_epochs=5)
+>>> Xt = afe.fit_transform(task.X, task.y)
+>>> afe.result_.best_score >= afe.result_.base_score
 True
+
+The paper-reproduction API is unchanged underneath:
+``EAFE(fpe, EngineConfig(...)).fit(task)`` returns the same
+:class:`~repro.core.engine.AFEResult` the estimator exposes as
+``result_``.
 """
 
 from .core import (
@@ -38,10 +44,20 @@ from .store import (
     WriteThroughBackend,
     make_eval_backend,
 )
+from .api import (
+    AutoFeatureEngineer,
+    FeaturePlan,
+    SearcherRegistry,
+    searcher_registry,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AutoFeatureEngineer",
+    "FeaturePlan",
+    "SearcherRegistry",
+    "searcher_registry",
     "EAFE",
     "AFEEngine",
     "AFEResult",

@@ -1,0 +1,44 @@
+"""Public front door: estimator, portable artifacts, searcher registry.
+
+Three pieces turn the reproduction into a *usable* library:
+
+* :class:`AutoFeatureEngineer` — a sklearn-compatible
+  ``fit(X, y)`` / ``transform(X)`` estimator over every search method;
+* :class:`FeaturePlan` — the versioned JSON artifact a search
+  produces: selected expressions + input schema + operator-registry
+  fingerprint + FPE identity + provenance, with a compiled vectorized
+  ``transform``;
+* :class:`SearcherRegistry` / :func:`searcher_registry` — the single
+  name → factory table every dispatcher (bench harness, CLI,
+  estimator) resolves methods through; third-party searchers register
+  here at runtime (or via ``REPRO_SEARCHER_PLUGINS``).
+
+The search→artifact→serve dataflow::
+
+    afe = AutoFeatureEngineer(method="E-AFE", seed=0).fit(X, y)  # search
+    afe.plan_.save("features.plan.json")                          # artifact
+    FeaturePlan.load("features.plan.json").transform(X_new)       # serve
+"""
+
+from .estimator import AutoFeatureEngineer, infer_task_type
+from .plan import PLAN_FORMAT_VERSION, FeaturePlan, fpe_identity
+from .registry import (
+    PLUGINS_ENV,
+    SearcherFactory,
+    SearcherRegistry,
+    SearcherSpec,
+    searcher_registry,
+)
+
+__all__ = [
+    "AutoFeatureEngineer",
+    "FeaturePlan",
+    "PLAN_FORMAT_VERSION",
+    "SearcherFactory",
+    "SearcherRegistry",
+    "SearcherSpec",
+    "searcher_registry",
+    "PLUGINS_ENV",
+    "fpe_identity",
+    "infer_task_type",
+]

@@ -1,0 +1,244 @@
+"""AutoFeatureEngineer: the sklearn-style front door to the library.
+
+Every searcher in the package has a bespoke constructor (``EAFE(fpe,
+config)``, ``NFS(config)``, ``make_variant(...)``) and consumes a
+:class:`~repro.datasets.generators.TabularTask`.  Production callers
+want the interface every tabular tool already speaks::
+
+    afe = AutoFeatureEngineer(method="E-AFE", n_epochs=5, seed=0)
+    Xt = afe.fit_transform(X, y)          # numpy in, numpy out
+    afe.plan_.save("features.plan.json")  # the deployable artifact
+
+``fit`` wires task construction (numpy arrays or
+:class:`~repro.frame.Frame`, classification/regression inferred from
+``y``), method resolution through the searcher registry, FPE loading,
+and the shared eval-store backend; ``transform`` delegates to the
+compiled :class:`~repro.api.plan.FeaturePlan`, so in-process inference
+and a plan reloaded in a fresh process are bit-identical by
+construction.
+
+The estimator follows the sklearn protocol — ``get_params`` /
+``set_params`` round-trip every constructor argument, so
+``AutoFeatureEngineer(**afe.get_params())`` is a clone — without
+importing sklearn (unavailable in this environment by design).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from pathlib import Path
+
+import numpy as np
+
+from ..core.engine import AFEResult, EngineConfig
+from ..core.fpe import FPEModel
+from ..core.persistence import load_fpe
+from ..datasets.generators import TabularTask
+from ..frame.frame import Frame
+from .plan import FeaturePlan, fpe_identity
+from .registry import searcher_registry
+
+__all__ = ["AutoFeatureEngineer", "infer_task_type"]
+
+
+def infer_task_type(y: np.ndarray) -> str:
+    """Classification ("C") or regression ("R") from the target vector.
+
+    Integral targets with few distinct values are classification;
+    anything else is regression.  Pass ``task="C"``/``"R"`` to the
+    estimator to override.
+    """
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    unique = np.unique(y)
+    if len(unique) <= 20 and np.allclose(unique, np.round(unique)):
+        return "C"
+    return "R"
+
+
+class AutoFeatureEngineer:
+    """Automated feature engineering as a fit/transform estimator.
+
+    Parameters
+    ----------
+    method:
+        Canonical searcher name from the registry ("E-AFE", "NFS",
+        "AutoFSR", ... — see ``searcher_registry().names()``).
+    config:
+        Full :class:`~repro.core.engine.EngineConfig`; defaults are
+        used when omitted.  The instance is never mutated.
+    fpe:
+        Pre-trained :class:`~repro.core.fpe.FPEModel`, a path to a
+        model saved with :func:`~repro.core.persistence.save_fpe`, or
+        ``None`` (methods that need one fall back to the cached default
+        model, pre-training it on first use).
+    task:
+        "auto" (infer from ``y``), "C", or "R".
+    n_epochs / seed / eval_store_path:
+        Convenience overrides applied on top of ``config`` (a shared
+        SQLite score store makes repeated fits warm-start across
+        processes).
+    """
+
+    def __init__(
+        self,
+        method: str = "E-AFE",
+        config: EngineConfig | None = None,
+        fpe: FPEModel | str | None = None,
+        task: str = "auto",
+        n_epochs: int | None = None,
+        seed: int | None = None,
+        eval_store_path: str | None = None,
+    ) -> None:
+        self.method = method
+        self.config = config
+        self.fpe = fpe
+        self.task = task
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.eval_store_path = eval_store_path
+
+    # -- sklearn protocol --------------------------------------------------
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [name for name in signature.parameters if name != "self"]
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Constructor arguments as a dict (sklearn clone contract)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "AutoFeatureEngineer":
+        """Update constructor arguments in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for AutoFeatureEngineer; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    # -- wiring ------------------------------------------------------------
+    def _resolved_config(self) -> EngineConfig:
+        config = self.config if self.config is not None else EngineConfig()
+        overrides = {}
+        if self.n_epochs is not None:
+            overrides["n_epochs"] = self.n_epochs
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        if self.eval_store_path is not None:
+            overrides["eval_store_path"] = self.eval_store_path
+        return dataclasses.replace(config, **overrides) if overrides else config
+
+    def _resolved_fpe(self) -> FPEModel | None:
+        if isinstance(self.fpe, (str, Path)):
+            return load_fpe(self.fpe)
+        return self.fpe
+
+    def _as_task(self, X, y) -> TabularTask:
+        if isinstance(X, TabularTask):
+            return X
+        if isinstance(X, Frame):
+            frame = X
+        else:
+            matrix = np.asarray(X, dtype=np.float64)
+            if matrix.ndim != 2:
+                raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+            frame = Frame(matrix)
+        if y is None:
+            raise ValueError("y is required when X is not a TabularTask")
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if self.task == "auto":
+            task_type = infer_task_type(y)
+        elif self.task in ("C", "R"):
+            task_type = self.task
+        else:
+            raise ValueError(f"task must be 'auto', 'C', or 'R', got {self.task!r}")
+        return TabularTask(name="fit-data", task=task_type, X=frame, y=y)
+
+    # -- estimator API -----------------------------------------------------
+    def fit(self, X, y=None) -> "AutoFeatureEngineer":
+        """Search engineered features for ``(X, y)``.
+
+        ``X`` may be a numpy matrix, a :class:`~repro.frame.Frame`, or
+        a ready :class:`~repro.datasets.generators.TabularTask` (in
+        which case ``y`` is ignored).  Fitted state: ``result_`` (the
+        full search accounting) and ``plan_`` (the deployable
+        artifact).
+        """
+        task = self._as_task(X, y)
+        config = self._resolved_config()
+        fpe = self._resolved_fpe()
+        searcher = searcher_registry().create(self.method, config, fpe=fpe)
+        self.result_: AFEResult = searcher.fit(task)
+        # Provenance records the model the searcher *actually filtered
+        # with* — engines expose it as .fpe — not the caller-supplied
+        # instance, which a variant may have substituted (E-AFE_I
+        # re-hashes a ccws model) or ignored entirely (NFS).
+        plan_fpe = getattr(searcher, "fpe", None)
+        if getattr(searcher, "portable_plan", True):
+            self.plan_: FeaturePlan | None = FeaturePlan.from_result(
+                self.result_,
+                input_columns=task.X.columns,
+                fpe=fpe_identity(plan_fpe),
+                config=config,
+            )
+        else:
+            # Methods whose features are learned representations (DL|FE)
+            # cannot re-compute them on new rows; scores stay available
+            # through result_, but there is nothing to transform with.
+            self.plan_ = None
+        self.task_type_ = task.task
+        self.feature_names_in_ = list(task.X.columns)
+        self.n_features_in_ = task.X.n_columns
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted plan to new rows.
+
+        Accepts the same shapes as :meth:`fit`: a numpy matrix, a
+        :class:`~repro.frame.Frame`, or a ``TabularTask`` (its frame is
+        used).
+        """
+        self._check_fitted()
+        if self.plan_ is None:
+            raise RuntimeError(
+                f"method {self.method!r} produces no portable feature plan "
+                "(its features are learned representations); scores are "
+                "available via result_, but new rows cannot be transformed"
+            )
+        if isinstance(X, TabularTask):
+            X = X.X
+        return self.plan_.transform(X)
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        """``fit(X, y)`` then ``transform(X)``."""
+        return self.fit(X, y).transform(X)
+
+    # -- artifacts ---------------------------------------------------------
+    def save_plan(self, path: str | Path) -> None:
+        """Persist the fitted :class:`FeaturePlan` as JSON."""
+        self._check_fitted()
+        if self.plan_ is None:
+            raise RuntimeError(
+                f"method {self.method!r} produced no portable feature plan"
+            )
+        self.plan_.save(path)
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "result_"):
+            raise RuntimeError(
+                "this AutoFeatureEngineer instance is not fitted yet; "
+                "call fit(X, y) first"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self._param_names()
+            if getattr(self, name) is not None and name != "method"
+        )
+        suffix = f", {params}" if params else ""
+        return f"AutoFeatureEngineer(method={self.method!r}{suffix})"

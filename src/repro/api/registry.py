@@ -1,0 +1,290 @@
+"""Searcher registry: one construction path for every AFE method.
+
+Before this module existed, every caller that wanted "the method named
+X" re-implemented a hand-rolled if/elif over constructors — the bench
+harness, the experiments, every example.  :class:`SearcherRegistry`
+replaces that with a single table: each method registers a factory
+under its canonical name (the Table III column names plus the
+related-work systems), and everything — ``make_method``, the bench
+CLI, :class:`~repro.api.estimator.AutoFeatureEngineer` — resolves
+methods through it.
+
+Third-party searchers join the same table at runtime::
+
+    from repro.api import searcher_registry
+
+    def build_my_searcher(config, fpe=None):
+        return MySearcher(config)          # must expose .fit(task)
+
+    searcher_registry().register("MyAFE", build_my_searcher)
+
+Modules named in the ``REPRO_SEARCHER_PLUGINS`` environment variable
+(comma-separated import paths) are imported on first registry access,
+so a plugin that registers a searcher at import time appears in
+``python -m repro.bench methods`` — and is runnable with
+``--methods`` — without touching this package.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib
+import os
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from ..core.engine import EngineConfig
+from ..core.fpe import FPEModel
+
+__all__ = [
+    "SearcherFactory",
+    "SearcherSpec",
+    "SearcherRegistry",
+    "searcher_registry",
+    "PLUGINS_ENV",
+]
+
+#: A factory builds a ready-to-fit searcher from an engine config and an
+#: optional pre-trained FPE model.  The returned object must expose
+#: ``fit(task) -> AFEResult``.
+SearcherFactory = Callable[[EngineConfig, FPEModel | None], object]
+
+#: Comma-separated module paths imported on first registry access.
+PLUGINS_ENV = "REPRO_SEARCHER_PLUGINS"
+
+
+@dataclass(frozen=True)
+class SearcherSpec:
+    """One registered method.
+
+    ``needs_fpe`` documents whether the factory benefits from a
+    pre-trained FPE model (factories must still accept ``fpe=None``
+    and fall back to a default); the bench CLI uses it to decide when
+    to pre-train one.
+    """
+
+    name: str
+    factory: SearcherFactory = field(repr=False)
+    needs_fpe: bool = False
+    description: str = ""
+
+
+class SearcherRegistry:
+    """Ordered name → factory table for AFE search methods.
+
+    Registration order is preserved; :meth:`names` is therefore a
+    stable method ordering (the built-in registry registers the
+    Table III columns in column order).
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, SearcherSpec] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: SearcherFactory | None = None,
+        *,
+        needs_fpe: bool = False,
+        description: str = "",
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Raises ``ValueError`` on duplicate names unless ``overwrite``
+        is set (the escape hatch for swapping a built-in out for an
+        instrumented variant).
+        """
+        if factory is None:
+            def decorator(fn: SearcherFactory) -> SearcherFactory:
+                self.register(
+                    name, fn, needs_fpe=needs_fpe,
+                    description=description, overwrite=overwrite,
+                )
+                return fn
+
+            return decorator
+        if name in self._specs and not overwrite:
+            raise ValueError(
+                f"searcher {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._specs[name] = SearcherSpec(
+            name=name, factory=factory, needs_fpe=needs_fpe,
+            description=description,
+        )
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered method (KeyError if absent)."""
+        del self._specs[name]
+
+    # -- lookup ------------------------------------------------------------
+    def spec(self, name: str) -> SearcherSpec:
+        """The registered spec for ``name`` (ValueError if unknown)."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown method {name!r}; registered methods: "
+                f"{tuple(self._specs)}"
+            ) from None
+
+    def create(
+        self,
+        name: str,
+        config: EngineConfig | None = None,
+        fpe: FPEModel | None = None,
+    ):
+        """Build a ready-to-fit searcher by canonical name.
+
+        The config is deep-copied before it reaches the factory, so a
+        caller's :class:`EngineConfig` is never mutated by construction
+        (several engines flip ``two_stage``/``per_step_rewards`` on
+        their private copy).
+        """
+        spec = self.spec(name)
+        config = copy.deepcopy(config) if config is not None else EngineConfig()
+        return spec.factory(config, fpe)
+
+    def needs_fpe(self, name: str) -> bool:
+        """Whether ``name`` benefits from a pre-trained FPE model."""
+        return self.spec(name).needs_fpe
+
+    def names(self) -> tuple[str, ...]:
+        """Registered method names in registration order."""
+        return tuple(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __repr__(self) -> str:
+        return f"SearcherRegistry({list(self._specs)})"
+
+
+# ---------------------------------------------------------------------------
+# Built-in methods
+# ---------------------------------------------------------------------------
+def _register_builtins(registry: SearcherRegistry) -> None:
+    """Register every shipped method under its canonical name.
+
+    Imports live inside the function so that importing :mod:`repro.api`
+    stays cheap and cycle-free (baselines import core, which must not
+    import api at module load).
+    """
+    from ..baselines import (
+        LFE,
+        NFS,
+        AutoFSR,
+        DlThenFe,
+        ExploreKit,
+        FeThenDl,
+        RandomAFE,
+        RTDLNBaseline,
+        TransformationGraph,
+    )
+    from ..core.variants import VARIANT_NAMES, make_variant
+
+    def simple(cls):
+        return lambda config, fpe=None: cls(config)
+
+    registry.register(
+        "AutoFSR", simple(AutoFSR), description="feature-selection RL (FSR)"
+    )
+    registry.register(
+        "RTDLN", simple(RTDLNBaseline), description="regularized deep tabular net (DLN)"
+    )
+    registry.register("NFS", simple(NFS), description="neural feature search")
+    registry.register(
+        "FE|DL", simple(FeThenDl), description="feature engineering then DL"
+    )
+    registry.register(
+        "DL|FE", simple(DlThenFe), description="DL then feature engineering"
+    )
+
+    for variant in VARIANT_NAMES:
+        registry.register(
+            variant,
+            # Bind the loop variable; every variant shares make_variant.
+            lambda config, fpe=None, _name=variant: make_variant(
+                _name, config, fpe=fpe
+            ),
+            # E-AFE_D replaces the FPE filter with coin flips; it is the
+            # only variant that ignores a supplied model.
+            needs_fpe=variant != "E-AFE_D",
+            description=f"Table III variant {variant}",
+        )
+
+    registry.register(
+        "RandomAFE", simple(RandomAFE), description="random transformation search"
+    )
+    registry.register(
+        "TransGraph",
+        simple(TransformationGraph),
+        description="Q-learning over a transformation graph (Khurana et al.)",
+    )
+
+    def build_lfe(config, fpe=None):
+        # LFE requires offline predictors; pretrain on a small corpus
+        # slice so construction stays one-call.
+        from ..datasets.public import public_corpus
+
+        engine = LFE(config)
+        engine.pretrain(list(public_corpus(limit=2, scale=0.25)))
+        return engine
+
+    registry.register(
+        "LFE", build_lfe, description="learning feature engineering (predict, never evaluate)"
+    )
+    registry.register(
+        "ExploreKit", simple(ExploreKit), description="generate-rank-evaluate"
+    )
+
+    def build_groupwise(config, fpe=None):
+        from ..core.groupwise import GroupwiseEAFE
+        from ..core.pretrain import default_fpe
+
+        model = fpe or default_fpe(method="ccws", seed=config.seed)
+        return GroupwiseEAFE(model, config)
+
+    registry.register(
+        "E-AFE_G", build_groupwise, needs_fpe=True,
+        description="groupwise extension (one agent per feature cluster)",
+    )
+
+
+_default_registry: SearcherRegistry | None = None
+_plugins_loaded = False
+
+
+def _load_plugins() -> None:
+    """Import modules named in ``REPRO_SEARCHER_PLUGINS`` exactly once.
+
+    The guard flag is set *before* importing so a plugin that calls
+    :func:`searcher_registry` at import time does not recurse.
+    """
+    global _plugins_loaded
+    if _plugins_loaded:
+        return
+    _plugins_loaded = True
+    for module in os.environ.get(PLUGINS_ENV, "").split(","):
+        module = module.strip()
+        if module:
+            importlib.import_module(module)
+
+
+def searcher_registry() -> SearcherRegistry:
+    """The process-wide registry, populated with every built-in method."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = SearcherRegistry()
+        _register_builtins(_default_registry)
+    _load_plugins()
+    return _default_registry

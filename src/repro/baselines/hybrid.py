@@ -99,6 +99,10 @@ class DlThenFe:
     """DL|FE: deep representation first, then feature selection."""
 
     method_name = "DL|FE"
+    #: Selected "features" are learned ResNet representation columns
+    #: (``repr_*``), not operator expressions — no portable
+    #: :class:`~repro.api.FeaturePlan` can re-compute them on new data.
+    portable_plan = False
 
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = copy.deepcopy(config) if config is not None else EngineConfig()

@@ -11,7 +11,11 @@ Regenerate any paper table or figure from the shell:
 every downstream score to one SQLite file; adding ``--resume`` replays
 completed cells, so a killed sweep re-run with the same command
 continues where it left off.  ``list`` shows every available
-experiment.
+experiment; ``methods`` shows every method in the searcher registry
+(including third-party searchers imported via
+``REPRO_SEARCHER_PLUGINS``), and ``--methods`` runs a method subset
+where the experiment takes one (table3, table5, figure7,
+related_work).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import argparse
 import os
 import sys
 
+from ..api.registry import searcher_registry
 from ..core.pretrain import default_fpe
 from ..store.backends import EVAL_STORE_ENV
 from ..store.runs import RUN_RESUME_ENV, RUN_STORE_ENV
@@ -100,14 +105,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["list", "report"],
-        help="experiment id (paper table/figure), 'list', or 'report'",
+        choices=sorted(_EXPERIMENTS) + ["list", "methods", "report"],
+        help="experiment id (paper table/figure), 'list', 'methods', "
+        "or 'report'",
     )
     parser.add_argument(
         "--datasets",
         nargs="+",
         default=None,
         help="override the dataset subset (where the experiment takes one)",
+    )
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        help="override the method subset (where the experiment takes one); "
+        "any name in the searcher registry works, including third-party "
+        "searchers registered via REPRO_SEARCHER_PLUGINS",
     )
     parser.add_argument(
         "--out", default=None, help="report output path (report mode only)"
@@ -150,6 +164,16 @@ def main(argv: list[str] | None = None) -> int:
             for name in sorted(_EXPERIMENTS):
                 print(name)
             return 0
+        if args.experiment == "methods":
+            # Everything constructible by the harness — built-ins plus
+            # any searcher registered at runtime (REPRO_SEARCHER_PLUGINS).
+            registry = searcher_registry()
+            for name in registry.names():
+                spec = registry.spec(name)
+                marker = " [fpe]" if spec.needs_fpe else ""
+                description = f"  {spec.description}" if spec.description else ""
+                print(f"{name}{marker}{description}")
+            return 0
         if args.experiment == "report":
             return run_report(args.seed, args.out)
 
@@ -160,6 +184,21 @@ def main(argv: list[str] | None = None) -> int:
             "table1", "figure1", "table3", "table4", "table5",
         ):
             kwargs["datasets"] = args.datasets
+        if args.methods:
+            if args.experiment not in (
+                "table3", "table5", "figure7", "related_work",
+            ):
+                parser.error(
+                    f"--methods is not supported by {args.experiment}"
+                )
+            registry = searcher_registry()
+            unknown = [m for m in args.methods if m not in registry]
+            if unknown:
+                parser.error(
+                    f"unknown methods {unknown}; see "
+                    "`python -m repro.bench methods`"
+                )
+            kwargs["methods"] = args.methods
         if needs_fpe:
             print("pre-training FPE model ...", file=sys.stderr)
             kwargs["fpe"] = default_fpe(seed=args.seed)

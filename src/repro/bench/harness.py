@@ -21,24 +21,14 @@ backend.
 
 from __future__ import annotations
 
-import copy
 import os
+import sys
 from collections.abc import Sequence
 
-from ..baselines import (
-    LFE,
-    NFS,
-    AutoFSR,
-    DlThenFe,
-    ExploreKit,
-    FeThenDl,
-    RandomAFE,
-    RTDLNBaseline,
-    TransformationGraph,
-)
+from ..api.plan import FeaturePlan, fpe_identity
+from ..api.registry import searcher_registry
 from ..core.engine import AFEResult, EngineConfig
 from ..core.fpe import FPEModel
-from ..core.variants import make_variant
 from ..datasets.generators import TabularTask
 from ..datasets.registry import load as load_dataset
 from ..store import RunStore, config_hash
@@ -126,41 +116,14 @@ def bench_dataset(name: str) -> TabularTask:
 
 
 def make_method(name: str, config: EngineConfig, fpe: FPEModel | None = None):
-    """Instantiate any Table III method by its column name."""
-    config = copy.deepcopy(config)
-    if name == "AutoFSR":
-        return AutoFSR(config)
-    if name == "RTDLN":
-        return RTDLNBaseline(config)
-    if name == "NFS":
-        return NFS(config)
-    if name == "FE|DL":
-        return FeThenDl(config)
-    if name == "DL|FE":
-        return DlThenFe(config)
-    if name == "RandomAFE":
-        return RandomAFE(config)
-    if name == "TransGraph":
-        return TransformationGraph(config)
-    if name == "LFE":
-        # LFE requires offline predictors; pretrain on a small corpus
-        # slice so the harness stays one-call.
-        from ..datasets.public import public_corpus
+    """Instantiate any registered method by its canonical name.
 
-        engine = LFE(config)
-        engine.pretrain(list(public_corpus(limit=2, scale=0.25)))
-        return engine
-    if name == "ExploreKit":
-        return ExploreKit(config)
-    if name == "E-AFE_G":
-        from ..core.groupwise import GroupwiseEAFE
-        from ..core.pretrain import default_fpe
-
-        model = fpe or default_fpe(method="ccws", seed=config.seed)
-        return GroupwiseEAFE(model, config)
-    if name.startswith("E-AFE"):
-        return make_variant(name, config, fpe=fpe)
-    raise ValueError(f"unknown method {name!r}; expected one of {ALL_METHODS}")
+    Thin shim over :func:`repro.api.registry.searcher_registry` — every
+    built-in (Table III columns, ablations, related-work systems) and
+    every runtime-registered third-party searcher constructs through
+    the same table, so the bench runs them identically.
+    """
+    return searcher_registry().create(name, config, fpe=fpe)
 
 
 _RUN_STORES: dict[str, RunStore] = {}
@@ -231,14 +194,34 @@ def run_single(
         if payload is not None:
             return AFEResult.from_dict(payload)
     store.start(task.name, method, config.seed, cell_hash)
-    result = make_method(method, config, fpe=fpe).fit(task)
-    store.finish(
-        task.name,
-        method,
-        config.seed,
-        cell_hash,
-        result.to_dict(include_matrix=True),
-    )
+    engine = make_method(method, config, fpe=fpe)
+    result = engine.fit(task)
+    payload = result.to_dict(include_matrix=True)
+    # Persist the deployable artifact next to the scores: a warm store
+    # yields FeaturePlans (repro.store CLI `plans`), not just numbers.
+    # Methods whose "features" are not re-computable operator
+    # expressions opt out with ``portable_plan = False`` (DL|FE's
+    # learned repr_* columns); the try/except keeps score persistence
+    # alive for third-party searchers that forget the flag, but never
+    # silently — a plan-building regression must leave a trace.
+    if getattr(engine, "portable_plan", True):
+        try:
+            payload["feature_plan"] = FeaturePlan.from_result(
+                result,
+                input_columns=task.X.columns,
+                # The model the engine actually filtered with (a
+                # variant may substitute the supplied instance).
+                fpe=fpe_identity(getattr(engine, "fpe", None)),
+                config=config,
+            ).to_dict()
+        except (ValueError, KeyError) as error:
+            print(
+                f"warning: no feature plan stored for "
+                f"({task.name}, {method}, seed={config.seed}): {error}; "
+                "set portable_plan=False on the searcher to silence",
+                file=sys.stderr,
+            )
+    store.finish(task.name, method, config.seed, cell_hash, payload)
     return result
 
 

@@ -9,6 +9,13 @@ the original columns.
 
 Also serializable (a list of canonical names is the whole state), so a
 feature set can be versioned alongside the downstream model.
+
+.. note::
+   New code should prefer :class:`repro.api.FeaturePlan`, which
+   subsumes this class: same compiled expressions plus input schema,
+   operator-registry fingerprint, FPE identity, and run provenance in
+   one versioned artifact.  ``FeatureTransformer`` remains as the thin
+   compatibility layer underneath existing pipelines.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ class FeatureTransformer:
     ----------
     feature_names:
         Canonical expression names, typically
-        ``AFEResult.selected_features``.
+        ``AFEResult.selected_features``.  May be empty: a search that
+        found no improvement yields a legitimate *identity* pipeline,
+        and :meth:`transform` returns its input unchanged.
     registry:
         Operator registry used during the search; must cover every
         operator appearing in the names.
@@ -44,8 +53,6 @@ class FeatureTransformer:
         feature_names: list[str],
         registry: OperatorRegistry | None = None,
     ) -> None:
-        if not feature_names:
-            raise ValueError("feature_names must not be empty")
         self.registry = registry or default_registry()
         self.feature_names = list(feature_names)
         self._expressions: list[Expression] = [
@@ -69,10 +76,18 @@ class FeatureTransformer:
 
     @property
     def max_order(self) -> int:
+        if not self._expressions:
+            return 0
         return max(expression.depth() for expression in self._expressions)
 
     def transform(self, frame: Frame) -> Frame:
-        """Materialize every engineered feature against ``frame``."""
+        """Materialize every engineered feature against ``frame``.
+
+        An empty feature list is the identity: the input frame's
+        columns come back unchanged.
+        """
+        if not self.feature_names:
+            return frame.select(frame.columns)
         missing = self.required_columns - set(frame.columns)
         if missing:
             raise KeyError(f"input frame is missing columns {sorted(missing)!r}")

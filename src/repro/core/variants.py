@@ -52,6 +52,9 @@ class _PolicyGradientEAFE(AFEEngine):
         config.two_stage = False
         config.per_step_rewards = False
         super().__init__(FPEFilter(fpe), config)
+        # Exposed like EAFE.fpe so artifact provenance can record the
+        # model that actually filtered the search.
+        self.fpe = fpe
 
 
 def make_variant(

@@ -3,7 +3,12 @@
 from .binary import add, multiply, safe_divide, safe_modulo, subtract
 from .composer import FeatureSubgroup, GeneratedFeature, compose
 from .expression import Expression, expression_depth, parse_expression
-from .registry import Operator, OperatorRegistry, default_registry
+from .registry import (
+    Operator,
+    OperatorRegistry,
+    default_registry,
+    registry_fingerprint,
+)
 from .unary import min_max_normalize, safe_log, safe_reciprocal, safe_sqrt
 
 __all__ = [
@@ -19,6 +24,7 @@ __all__ = [
     "Operator",
     "OperatorRegistry",
     "default_registry",
+    "registry_fingerprint",
     "GeneratedFeature",
     "compose",
     "FeatureSubgroup",

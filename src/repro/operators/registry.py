@@ -9,6 +9,7 @@ public-API escape hatch a downstream user of the library would expect).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -16,7 +17,12 @@ import numpy as np
 
 from . import binary, unary
 
-__all__ = ["Operator", "OperatorRegistry", "default_registry"]
+__all__ = [
+    "Operator",
+    "OperatorRegistry",
+    "default_registry",
+    "registry_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,22 @@ class OperatorRegistry:
     @property
     def binary_indices(self) -> list[int]:
         return [i for i, op in enumerate(self._operators) if op.arity == 2]
+
+
+def registry_fingerprint(registry: OperatorRegistry) -> str:
+    """Stable content id of an operator set.
+
+    Covers each operator's name, arity, and position (order defines the
+    RL action indices and the canonical expression grammar).  Portable
+    artifacts — :class:`~repro.api.plan.FeaturePlan` — store this id so
+    a plan built against one operator set refuses to silently evaluate
+    under a different one.
+    """
+    serialized = ";".join(
+        f"{i}:{op.name}/{op.arity}" for i, op in enumerate(registry)
+    )
+    digest = hashlib.blake2b(serialized.encode(), digest_size=8).hexdigest()
+    return f"ops-v1:{digest}"
 
 
 def default_registry() -> OperatorRegistry:

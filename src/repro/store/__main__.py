@@ -6,6 +6,9 @@ subsystems can share one database):
     python -m repro.store stats  runs.db
     python -m repro.store vacuum runs.db
     python -m repro.store export runs.db --out dump.json
+    python -m repro.store plans  runs.db
+    python -m repro.store plans  runs.db --dataset PimaIndian \
+        --method E-AFE --out plan.json
 """
 
 from __future__ import annotations
@@ -57,15 +60,63 @@ def _export(path: str) -> dict:
     }
 
 
+def _plans(
+    path: str,
+    dataset: str | None,
+    method: str | None,
+    seed: int | None,
+    out: str | None,
+) -> int:
+    """List stored feature-plan artifacts, or extract one as JSON."""
+    matches = [
+        (record, plan)
+        for record, plan in RunStore(path).plans()
+        if (dataset is None or record.dataset == dataset)
+        and (method is None or record.method == method)
+        and (seed is None or record.seed == seed)
+    ]
+    if out is not None:
+        if len(matches) != 1:
+            print(
+                f"--out needs exactly one matching cell, found {len(matches)};"
+                " narrow with --dataset/--method/--seed",
+                file=sys.stderr,
+            )
+            return 1
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(matches[0][1], handle, indent=2)
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
+    for record, plan in matches:
+        names = plan.get("feature_names", [])
+        label = "identity" if not names else f"{len(names)} features"
+        print(
+            f"{record.dataset}  {record.method}  seed={record.seed}  "
+            f"{label}  best={record.best_score:.4f}"
+        )
+    if not matches:
+        print("no stored plans match", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.store",
         description="Inspect or maintain an evaluation/run store file.",
     )
-    parser.add_argument("command", choices=("stats", "vacuum", "export"))
+    parser.add_argument("command", choices=("stats", "vacuum", "export", "plans"))
     parser.add_argument("path", help="store database file")
     parser.add_argument(
-        "--out", default=None, help="output file (export mode; default stdout)"
+        "--out",
+        default=None,
+        help="output file (export/plans modes; default stdout)",
+    )
+    parser.add_argument(
+        "--dataset", default=None, help="filter plans by dataset"
+    )
+    parser.add_argument("--method", default=None, help="filter plans by method")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="filter plans by seed"
     )
     args = parser.parse_args(argv)
 
@@ -78,6 +129,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         print(json.dumps(_stats(args.path), indent=2))
         return 0
+    if args.command == "plans":
+        return _plans(args.path, args.dataset, args.method, args.seed, args.out)
     if args.command == "vacuum":
         before = os.path.getsize(args.path)
         SqliteBackend(args.path).vacuum()

@@ -174,6 +174,58 @@ class RunStore(SqliteConnectionOwner):
             return None
         return json.loads(row[0])
 
+    def completed_plan(
+        self, dataset: str, method: str, seed: int, config_hash: str
+    ) -> dict | None:
+        """Stored :class:`~repro.api.FeaturePlan` payload of a cell.
+
+        The bench harness persists the deployable plan document inside
+        each completed cell's payload (``feature_plan`` key), so a warm
+        store yields artifacts, not just scores.  Returns ``None`` for
+        incomplete cells and for methods without a portable plan (e.g.
+        learned-representation baselines).  Rebuild with
+        ``FeaturePlan.from_dict(payload)``.
+        """
+        payload = self.completed_payload(dataset, method, seed, config_hash)
+        if payload is None:
+            return None
+        return payload.get("feature_plan")
+
+    def plans(self) -> list[tuple[RunRecord, dict]]:
+        """Every completed cell that carries a feature-plan artifact.
+
+        One pass with SQLite's ``json_extract`` pulls just the plan
+        documents — payloads also carry the (much larger) serialized
+        feature matrices, which never leave the database here.  Builds
+        without the JSON1 extension fall back to parsing payloads in
+        Python.
+        """
+        import sqlite3
+
+        try:
+            rows = self._connection().execute(
+                "SELECT dataset, method, seed, config_hash, status,"
+                " best_score, n_evaluations, n_cache_hits, n_cache_misses,"
+                " wall_time, updated_at,"
+                " json_extract(payload, '$.feature_plan')"
+                " FROM runs WHERE status = 'completed'"
+                " AND json_extract(payload, '$.feature_plan') IS NOT NULL"
+                " ORDER BY dataset, method, seed"
+            ).fetchall()
+            return [
+                (RunRecord(*row[:11]), json.loads(row[11])) for row in rows
+            ]
+        except sqlite3.OperationalError:
+            out: list[tuple[RunRecord, dict]] = []
+            for record in self.records(status="completed"):
+                plan = self.completed_plan(
+                    record.dataset, record.method, record.seed,
+                    record.config_hash,
+                )
+                if plan is not None:
+                    out.append((record, plan))
+            return out
+
     def records(self, status: str | None = None) -> list[RunRecord]:
         """Every stored cell (optionally filtered by status)."""
         query = (

@@ -1,0 +1,192 @@
+"""AutoFeatureEngineer: sklearn protocol, task wiring, plan handoff."""
+
+import numpy as np
+import pytest
+
+from repro.api import AutoFeatureEngineer, FeaturePlan, infer_task_type
+from repro.core import EngineConfig, FPEModel, make_evaluator_factory, save_fpe
+from repro.datasets import make_classification, make_regression
+
+
+def _tiny_fpe():
+    corpus = [
+        make_classification(n_samples=50, n_features=4, seed=s) for s in range(2)
+    ]
+    model = FPEModel(d=8, seed=0)
+    model.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+    return model
+
+
+FPE = _tiny_fpe()
+
+QUICK = EngineConfig(
+    n_epochs=2, stage1_epochs=1, transforms_per_agent=2,
+    n_splits=3, n_estimators=3, seed=0,
+)
+
+
+class TestSklearnProtocol:
+    def test_get_params_round_trips_every_init_arg(self):
+        afe = AutoFeatureEngineer(
+            method="NFS", config=QUICK, fpe=FPE, task="C",
+            n_epochs=4, seed=1, eval_store_path="/tmp/x.db",
+        )
+        params = afe.get_params()
+        assert params == {
+            "method": "NFS", "config": QUICK, "fpe": FPE, "task": "C",
+            "n_epochs": 4, "seed": 1, "eval_store_path": "/tmp/x.db",
+        }
+
+    def test_clone_via_constructor(self):
+        afe = AutoFeatureEngineer(method="E-AFE_D", n_epochs=3, seed=5)
+        clone = AutoFeatureEngineer(**afe.get_params())
+        assert clone.get_params() == afe.get_params()
+        assert clone is not afe
+
+    def test_set_params_returns_self_and_updates(self):
+        afe = AutoFeatureEngineer()
+        out = afe.set_params(method="NFS", seed=9)
+        assert out is afe
+        assert afe.method == "NFS"
+        assert afe.seed == 9
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            AutoFeatureEngineer().set_params(n_trees=7)
+
+    def test_overrides_layer_onto_config(self):
+        afe = AutoFeatureEngineer(
+            config=QUICK, n_epochs=9, seed=3, eval_store_path="/tmp/s.db"
+        )
+        resolved = afe._resolved_config()
+        assert resolved.n_epochs == 9
+        assert resolved.seed == 3
+        assert resolved.eval_store_path == "/tmp/s.db"
+        # The caller's config instance is never mutated.
+        assert QUICK.n_epochs == 2 and QUICK.seed == 0
+        assert QUICK.eval_store_path is None
+
+
+class TestTaskInference:
+    def test_integral_few_valued_target_is_classification(self):
+        assert infer_task_type(np.array([0, 1, 1, 0, 2])) == "C"
+
+    def test_continuous_target_is_regression(self):
+        assert infer_task_type(np.array([0.1, 2.7, 3.14, -1.2])) == "R"
+
+    def test_explicit_override_wins(self):
+        task = make_regression(n_samples=60, n_features=3, seed=0)
+        afe = AutoFeatureEngineer(method="NFS", config=QUICK, task="R")
+        afe.fit(task.X.to_array(), task.y)
+        assert afe.task_type_ == "R"
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ValueError, match="task must be"):
+            AutoFeatureEngineer(task="classify").fit(
+                np.ones((10, 2)), np.zeros(10)
+            )
+
+    def test_y_required_for_arrays(self):
+        with pytest.raises(ValueError, match="y is required"):
+            AutoFeatureEngineer().fit(np.ones((10, 2)))
+
+
+class TestFitTransform:
+    def test_numpy_in_numpy_out(self):
+        task = make_classification(n_samples=80, n_features=4, seed=3)
+        afe = AutoFeatureEngineer(method="E-AFE", config=QUICK, fpe=FPE)
+        Xt = afe.fit_transform(task.X.to_array(), task.y)
+        assert isinstance(Xt, np.ndarray)
+        assert Xt.shape[0] == 80
+        assert afe.n_features_in_ == 4
+        assert afe.feature_names_in_ == task.X.columns
+        assert afe.result_.method == "E-AFE"
+        assert isinstance(afe.plan_, FeaturePlan)
+        assert afe.plan_.fpe == {
+            "method": "ccws", "d": 8, "seed": 0, "thre": 0.01
+        }
+
+    def test_transform_matches_plan_transform(self):
+        task = make_classification(n_samples=70, n_features=4, seed=11)
+        afe = AutoFeatureEngineer(method="NFS", config=QUICK)
+        afe.fit(task.X, task.y)
+        X = task.X.to_array()
+        assert afe.transform(X).tobytes() == afe.plan_.transform(X).tobytes()
+
+    def test_accepts_frame_and_tabular_task(self):
+        task = make_classification(n_samples=60, n_features=3, seed=2)
+        from_frame = AutoFeatureEngineer(method="NFS", config=QUICK).fit(
+            task.X, task.y
+        )
+        from_task = AutoFeatureEngineer(method="NFS", config=QUICK).fit(task)
+        assert from_frame.feature_names_in_ == from_task.feature_names_in_
+        # transform/fit_transform accept a TabularTask too (its frame).
+        a = from_task.transform(task)
+        b = from_task.transform(task.X.to_array())
+        assert a.tobytes() == b.tobytes()
+        c = AutoFeatureEngineer(method="NFS", config=QUICK).fit_transform(task)
+        assert c.tobytes() == a.tobytes()
+
+    def test_provenance_records_fpe_actually_used(self):
+        # NFS never filters with an FPE model: even if the caller
+        # supplies one, the plan must not claim it shaped the search.
+        task = make_classification(n_samples=60, n_features=3, seed=2)
+        afe = AutoFeatureEngineer(method="NFS", config=QUICK, fpe=FPE)
+        afe.fit(task.X.to_array(), task.y)
+        assert afe.plan_.fpe is None
+        # E-AFE_R exposes the model it filtered with.
+        eafe_r = AutoFeatureEngineer(method="E-AFE_R", config=QUICK, fpe=FPE)
+        eafe_r.fit(task.X.to_array(), task.y)
+        assert eafe_r.plan_.fpe == {
+            "method": "ccws", "d": 8, "seed": 0, "thre": 0.01
+        }
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        task = make_classification(n_samples=60, n_features=3, seed=4)
+        X, y = task.X.to_array(), task.y
+        a = AutoFeatureEngineer(method="NFS", config=QUICK).fit_transform(X, y)
+        b = AutoFeatureEngineer(method="NFS", config=QUICK).fit(X, y).transform(X)
+        assert a.tobytes() == b.tobytes()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            AutoFeatureEngineer().transform(np.ones((2, 2)))
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            AutoFeatureEngineer().fit(np.ones(5), np.ones(5))
+
+    def test_fpe_loadable_from_path(self, tmp_path):
+        path = tmp_path / "fpe.json"
+        save_fpe(FPE, path)
+        task = make_classification(n_samples=60, n_features=3, seed=6)
+        afe = AutoFeatureEngineer(method="E-AFE", config=QUICK, fpe=str(path))
+        afe.fit(task.X.to_array(), task.y)
+        assert afe.result_.method == "E-AFE"
+
+    def test_save_plan_round_trip(self, tmp_path):
+        task = make_classification(n_samples=60, n_features=3, seed=8)
+        afe = AutoFeatureEngineer(method="NFS", config=QUICK)
+        afe.fit(task.X.to_array(), task.y)
+        path = tmp_path / "plan.json"
+        afe.save_plan(path)
+        restored = FeaturePlan.load(path)
+        X = task.X.to_array()
+        assert restored.transform(X).tobytes() == afe.transform(X).tobytes()
+
+    def test_non_portable_method_fits_but_cannot_transform(self):
+        # DL|FE's features are learned ResNet representations: scores
+        # are real, but there is no expression plan to serve with.
+        task = make_classification(n_samples=60, n_features=3, seed=9)
+        afe = AutoFeatureEngineer(method="DL|FE", config=QUICK)
+        afe.fit(task.X.to_array(), task.y)
+        assert afe.result_.method == "DL|FE"
+        assert afe.plan_ is None
+        with pytest.raises(RuntimeError, match="no portable feature plan"):
+            afe.transform(task.X.to_array())
+        with pytest.raises(RuntimeError, match="no portable feature plan"):
+            afe.save_plan("/tmp/never-written.json")
+
+    def test_repr(self):
+        afe = AutoFeatureEngineer(method="NFS", seed=2)
+        assert "NFS" in repr(afe) and "seed=2" in repr(afe)

@@ -1,0 +1,162 @@
+"""FeaturePlan: artifact round-trips, identity plans, schema guards."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import PLAN_FORMAT_VERSION, FeaturePlan
+from repro.core.engine import AFEResult, EngineConfig
+from repro.frame import Frame
+from repro.operators import Operator, default_registry
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _plan(**overrides):
+    kwargs = dict(
+        feature_names=["f0", "mul(f0,f1)", "log(f2)"],
+        input_columns=["f0", "f1", "f2"],
+        fpe={"method": "ccws", "d": 8, "seed": 0, "thre": 0.01},
+        provenance={"dataset": "unit", "method": "E-AFE"},
+    )
+    kwargs.update(overrides)
+    return FeaturePlan(**kwargs)
+
+
+class TestTransform:
+    def test_frame_and_array_inputs_agree(self):
+        plan = _plan()
+        frame = Frame(
+            {"f0": [1.0, 2.0], "f1": [3.0, 4.0], "f2": [5.0, 6.0]}
+        )
+        from_frame = plan.transform(frame)
+        from_array = plan.transform(frame.to_array())
+        assert from_frame.dtype == np.float64
+        np.testing.assert_array_equal(from_frame, from_array)
+        assert from_frame.shape == (2, 3)
+
+    def test_expressions_vectorize_correctly(self):
+        plan = _plan(feature_names=["mul(f0,f1)"])
+        out = plan.transform(np.array([[2.0, 3.0, 0.0], [4.0, 5.0, 0.0]]))
+        np.testing.assert_allclose(out[:, 0], [6.0, 20.0])
+
+    def test_transform_frame_labels_outputs(self):
+        plan = _plan()
+        out = plan.transform_frame(np.ones((2, 3)))
+        assert out.columns == ["f0", "mul(f0,f1)", "log(f2)"]
+
+    def test_identity_plan_returns_input_unchanged(self):
+        plan = _plan(feature_names=[])
+        assert plan.is_identity
+        X = np.arange(12, dtype=np.float64).reshape(4, 3)
+        out = plan.transform(X)
+        np.testing.assert_array_equal(out, X)
+        assert plan.output_columns == ["f0", "f1", "f2"]
+        assert plan.n_features == 3
+
+    def test_wrong_array_width_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            _plan().transform(np.ones((2, 2)))
+
+    def test_missing_frame_column_rejected(self):
+        with pytest.raises(KeyError, match="missing columns"):
+            _plan().transform(Frame({"f0": [1.0]}))
+
+    def test_expressions_must_fit_input_schema(self):
+        with pytest.raises(ValueError, match="absent from input_columns"):
+            FeaturePlan(["mul(f0,f9)"], ["f0", "f1"])
+
+
+class TestSerialization:
+    def test_round_trip_equality(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "features.plan.json"
+        plan.save(path)
+        restored = FeaturePlan.load(path)
+        assert restored == plan
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.fpe == plan.fpe
+        assert restored.provenance == plan.provenance
+
+    def test_document_is_versioned_json(self, tmp_path):
+        path = tmp_path / "p.json"
+        _plan().save(path)
+        document = json.loads(path.read_text())
+        assert document["format_version"] == PLAN_FORMAT_VERSION
+        assert document["registry_id"].startswith("ops-v1:")
+
+    def test_unknown_version_rejected(self):
+        payload = _plan().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            FeaturePlan.from_dict(payload)
+
+    def test_registry_mismatch_rejected(self):
+        custom = default_registry()
+        custom.register(Operator("twice", 1, lambda a: 2 * a))
+        plan = FeaturePlan(["twice(f0)"], ["f0"], registry=custom)
+        with pytest.raises(ValueError, match="operator-registry mismatch"):
+            FeaturePlan.from_dict(plan.to_dict())
+        # Loading against the registry it was built with works.
+        restored = FeaturePlan.from_dict(plan.to_dict(), registry=custom)
+        np.testing.assert_allclose(
+            restored.transform(np.array([[3.0]])), [[6.0]]
+        )
+
+    def test_from_result_records_provenance(self):
+        result = AFEResult(
+            dataset="unit", method="E-AFE", task="C",
+            base_score=0.6, best_score=0.7,
+            selected_features=["f0", "sqrt(f1)"],
+        )
+        plan = FeaturePlan.from_result(
+            result, input_columns=["f0", "f1"], config=EngineConfig()
+        )
+        provenance = plan.provenance
+        assert provenance["dataset"] == "unit"
+        assert provenance["method"] == "E-AFE"
+        assert provenance["base_score"] == 0.6
+        assert provenance["best_score"] == 0.7
+        assert provenance["created_by"].startswith("repro ")
+        assert len(provenance["config_hash"]) == 32
+
+
+class TestFreshProcessBitIdentity:
+    def test_subprocess_transform_bit_identical(self, tmp_path):
+        """The acceptance bar: load+transform in a fresh OS process is
+        bit-identical to the producing process's transform."""
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(64, 3))
+        plan = _plan()
+        expected = plan.transform(X)
+
+        plan_path = tmp_path / "features.plan.json"
+        x_path = tmp_path / "x.npy"
+        out_path = tmp_path / "out.npy"
+        plan.save(plan_path)
+        np.save(x_path, X)
+
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = _SRC + os.pathsep + environment.get(
+            "PYTHONPATH", ""
+        )
+        script = (
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.api import FeaturePlan\n"
+            "plan = FeaturePlan.load(sys.argv[1])\n"
+            "np.save(sys.argv[3], plan.transform(np.load(sys.argv[2])))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script,
+             str(plan_path), str(x_path), str(out_path)],
+            env=environment, capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        fresh = np.load(out_path)
+        assert fresh.dtype == expected.dtype
+        assert fresh.tobytes() == expected.tobytes()

@@ -1,0 +1,153 @@
+"""SearcherRegistry: completeness, isolation, runtime extension."""
+
+import sys
+
+import pytest
+
+from repro.api import SearcherRegistry, searcher_registry
+from repro.api import registry as registry_module
+from repro.bench import ALL_METHODS, make_method, run_methods
+from repro.core import EngineConfig, FPEModel, make_evaluator_factory
+from repro.core.engine import AFEResult
+from repro.datasets import make_classification
+
+
+def _tiny_fpe():
+    corpus = [
+        make_classification(n_samples=50, n_features=4, seed=s) for s in range(2)
+    ]
+    model = FPEModel(d=8, seed=0)
+    model.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+    return model
+
+
+FPE = _tiny_fpe()
+
+#: Registered methods that are cheap enough to construct in a unit test
+#: (LFE pretrains offline predictors; E-AFE_G builds a default FPE).
+CHEAP_EXTRAS = ("RandomAFE", "TransGraph", "ExploreKit")
+
+
+class TestCompleteness:
+    def test_every_table3_method_registered_and_constructs(self):
+        registry = searcher_registry()
+        config = EngineConfig(n_epochs=1, seed=0)
+        for name in ALL_METHODS:
+            assert name in registry
+            engine = registry.create(name, config, fpe=FPE)
+            assert engine.method_name == name
+            assert callable(engine.fit)
+
+    def test_related_work_methods_registered(self):
+        registry = searcher_registry()
+        for name in ("LFE", "ExploreKit", "E-AFE_G") + CHEAP_EXTRAS:
+            assert name in registry
+
+    def test_cheap_extras_construct(self):
+        config = EngineConfig(n_epochs=1, seed=0)
+        for name in CHEAP_EXTRAS:
+            engine = searcher_registry().create(name, config, fpe=FPE)
+            assert engine.method_name == name
+
+    def test_needs_fpe_flags(self):
+        registry = searcher_registry()
+        assert registry.needs_fpe("E-AFE")
+        assert registry.needs_fpe("E-AFE_G")
+        # The dropout ablation replaces FPE with coin flips.
+        assert not registry.needs_fpe("E-AFE_D")
+        assert not registry.needs_fpe("NFS")
+
+    def test_names_preserve_registration_order(self):
+        names = searcher_registry().names()
+        assert names.index("AutoFSR") < names.index("NFS") < names.index("E-AFE")
+
+
+class TestIsolation:
+    def test_create_deep_copies_config(self):
+        config = EngineConfig(n_epochs=5)
+        engine = searcher_registry().create("NFS", config)
+        engine.config.n_epochs = 1
+        assert config.n_epochs == 5
+
+    def test_eafe_variant_does_not_mutate_caller_config(self):
+        config = EngineConfig(n_epochs=2, two_stage=False)
+        searcher_registry().create("E-AFE", config, fpe=FPE)
+        assert config.two_stage is False
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            searcher_registry().create("AutoML-Zero", EngineConfig())
+
+
+class TestRuntimeRegistration:
+    def _factory(self, config, fpe=None):
+        class _Stub:
+            method_name = "StubSearch"
+
+            def fit(self, task):
+                return AFEResult(
+                    dataset=task.name,
+                    method=self.method_name,
+                    task=task.task,
+                    base_score=0.5,
+                    best_score=0.5,
+                    selected_features=list(task.X.columns),
+                )
+
+        return _Stub()
+
+    def test_register_and_create(self):
+        registry = SearcherRegistry()
+        registry.register("StubSearch", self._factory)
+        assert "StubSearch" in registry
+        engine = registry.create("StubSearch")
+        assert engine.method_name == "StubSearch"
+
+    def test_duplicate_rejected_unless_overwrite(self):
+        registry = SearcherRegistry()
+        registry.register("StubSearch", self._factory)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("StubSearch", self._factory)
+        registry.register("StubSearch", self._factory, overwrite=True)
+
+    def test_decorator_form(self):
+        registry = SearcherRegistry()
+
+        @registry.register("Decorated", needs_fpe=True)
+        def build(config, fpe=None):
+            return self._factory(config, fpe)
+
+        assert "Decorated" in registry
+        assert registry.needs_fpe("Decorated")
+
+    def test_third_party_searcher_flows_through_bench(self):
+        """A runtime-registered searcher is a first-class bench method."""
+        registry = searcher_registry()
+        registry.register("StubSearch", self._factory)
+        try:
+            engine = make_method("StubSearch", EngineConfig())
+            assert engine.method_name == "StubSearch"
+            task = make_classification(n_samples=40, n_features=3, seed=0)
+            results = run_methods(task, ("StubSearch",), EngineConfig(n_epochs=1))
+            assert results["StubSearch"].method == "StubSearch"
+        finally:
+            registry.unregister("StubSearch")
+        assert "StubSearch" not in registry
+
+    def test_plugin_modules_imported_from_env(self, monkeypatch, tmp_path):
+        plugin = tmp_path / "repro_test_plugin.py"
+        plugin.write_text(
+            "from repro.api import searcher_registry\n"
+            "def _build(config, fpe=None):\n"
+            "    raise NotImplementedError\n"
+            "searcher_registry().register('PluginSearch', _build)\n",
+            encoding="utf-8",
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv(registry_module.PLUGINS_ENV, "repro_test_plugin")
+        monkeypatch.setattr(registry_module, "_plugins_loaded", False)
+        try:
+            assert "PluginSearch" in searcher_registry()
+        finally:
+            searcher_registry().unregister("PluginSearch")
+            sys.modules.pop("repro_test_plugin", None)

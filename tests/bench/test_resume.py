@@ -33,6 +33,24 @@ def _counting_make_method(monkeypatch):
     return calls
 
 
+class TestStoredPlans:
+    def test_completed_cell_carries_deployable_plan(self, task, store):
+        from repro.api import FeaturePlan
+        from repro.store import config_hash
+
+        config = bench_config(seed=0)
+        result = run_single(task, "NFS", config, run_store=store, resume=False)
+        cell_hash = f"{config_hash(config)}|fpe:none"
+        payload = store.completed_plan(task.name, "NFS", 0, cell_hash)
+        assert payload is not None
+        plan = FeaturePlan.from_dict(payload)
+        assert plan.provenance["method"] == "NFS"
+        assert plan.provenance["best_score"] == result.best_score
+        transformed = plan.transform(task.X.to_array())
+        assert transformed.shape[0] == task.n_samples
+        assert [record.method for record, _ in store.plans()] == ["NFS"]
+
+
 class TestRunSingleResume:
     def test_completed_cell_is_replayed_bit_identically(
         self, task, store, monkeypatch

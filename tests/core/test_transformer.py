@@ -10,9 +10,16 @@ from repro.frame import Frame
 
 
 class TestBasics:
-    def test_empty_names_rejected(self):
-        with pytest.raises(ValueError):
-            FeatureTransformer([])
+    def test_empty_names_is_identity(self):
+        # A search that found no improvement yields an empty selection;
+        # that is a legitimate identity pipeline, not an error.
+        transformer = FeatureTransformer([])
+        frame = Frame({"f1": [1.0, 2.0], "f2": [3.0, 4.0]})
+        out = transformer.transform(frame)
+        assert out.columns == ["f1", "f2"]
+        np.testing.assert_array_equal(out.to_array(), frame.to_array())
+        assert transformer.max_order == 0
+        assert transformer.required_columns == set()
 
     def test_required_columns(self):
         transformer = FeatureTransformer(["f1", "mul(f1,f2)", "log(f3)"])

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.store",
+    "repro.api",
 ]
 
 
