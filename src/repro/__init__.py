@@ -50,12 +50,16 @@ from .api import (
     SearcherRegistry,
     searcher_registry,
 )
+from .serve import FeaturePipeline, PlanRegistry, TransformService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AutoFeatureEngineer",
+    "FeaturePipeline",
     "FeaturePlan",
+    "PlanRegistry",
+    "TransformService",
     "SearcherRegistry",
     "searcher_registry",
     "EAFE",

@@ -21,7 +21,13 @@ The search→artifact→serve dataflow::
 """
 
 from .estimator import AutoFeatureEngineer, infer_task_type
-from .plan import PLAN_FORMAT_VERSION, FeaturePlan, fpe_identity
+from .plan import (
+    PLAN_FORMAT_VERSION,
+    CompiledTransform,
+    FeaturePlan,
+    fpe_identity,
+    plan_fingerprint,
+)
 from .registry import (
     PLUGINS_ENV,
     SearcherFactory,
@@ -32,8 +38,10 @@ from .registry import (
 
 __all__ = [
     "AutoFeatureEngineer",
+    "CompiledTransform",
     "FeaturePlan",
     "PLAN_FORMAT_VERSION",
+    "plan_fingerprint",
     "SearcherFactory",
     "SearcherRegistry",
     "SearcherSpec",

@@ -218,14 +218,41 @@ class AutoFeatureEngineer:
         return self.fit(X, y).transform(X)
 
     # -- artifacts ---------------------------------------------------------
-    def save_plan(self, path: str | Path) -> None:
-        """Persist the fitted :class:`FeaturePlan` as JSON."""
+    def to_plan(self) -> FeaturePlan:
+        """The fitted :class:`FeaturePlan`, raising when there is none.
+
+        The serve-side hand-off point: everything downstream —
+        :class:`~repro.serve.PlanRegistry`,
+        :class:`~repro.serve.TransformService`,
+        :class:`~repro.serve.FeaturePipeline` — consumes the plan this
+        returns.
+        """
         self._check_fitted()
         if self.plan_ is None:
             raise RuntimeError(
-                f"method {self.method!r} produced no portable feature plan"
+                f"method {self.method!r} produced no portable feature plan "
+                "(its features are learned representations)"
             )
-        self.plan_.save(path)
+        return self.plan_
+
+    def as_pipeline(self, model) -> "FeaturePipeline":
+        """Compose this estimator with a downstream model for serving.
+
+        Returns a :class:`~repro.serve.FeaturePipeline` over this
+        estimator — fit it (``pipeline.fit(X, y)`` searches features
+        first if this estimator is unfitted, then fits ``model`` on the
+        engineered matrix), predict with it, ``save`` it as one
+        deployable artifact.
+        """
+        from ..serve.pipeline import FeaturePipeline
+
+        if hasattr(self, "result_") and self.plan_ is not None:
+            return FeaturePipeline(self.plan_, model)
+        return FeaturePipeline(self, model)
+
+    def save_plan(self, path: str | Path) -> None:
+        """Persist the fitted :class:`FeaturePlan` as JSON."""
+        self.to_plan().save(path)
 
     def _check_fitted(self) -> None:
         if not hasattr(self, "result_"):

@@ -27,23 +27,96 @@ for floats.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
 from ..core.engine import AFEResult
-from ..core.transformer import FeatureTransformer
 from ..frame.frame import Frame
+from ..operators.expression import Expression, parse_expression
 from ..operators.registry import (
     OperatorRegistry,
     default_registry,
     registry_fingerprint,
 )
 
-__all__ = ["FeaturePlan", "PLAN_FORMAT_VERSION", "fpe_identity"]
+__all__ = [
+    "CompiledTransform",
+    "FeaturePlan",
+    "PLAN_FORMAT_VERSION",
+    "fpe_identity",
+    "plan_fingerprint",
+]
 
 PLAN_FORMAT_VERSION = 1
+
+
+def plan_fingerprint(payload: dict) -> str:
+    """Stable content fingerprint of a plan document.
+
+    Covers exactly what :meth:`FeaturePlan.transform` computes — the
+    expression list, the input schema, and the operator-registry id —
+    and deliberately *excludes* FPE identity and provenance, so two
+    runs (different seeds, different datasets renamed the same way)
+    that selected the same feature set share one fingerprint.  This is
+    the address serving artifacts are keyed by (DIFER-style reuse:
+    identical content, not identical filename).
+    """
+    content = {
+        "format_version": payload.get("format_version", PLAN_FORMAT_VERSION),
+        "registry_id": payload["registry_id"],
+        "feature_names": list(payload["feature_names"]),
+        "input_columns": list(payload["input_columns"]),
+    }
+    serialized = json.dumps(content, sort_keys=True)
+    digest = hashlib.blake2b(serialized.encode(), digest_size=16).hexdigest()
+    return f"plan-v1:{digest}"
+
+
+class CompiledTransform:
+    """The parse-once evaluation handle behind :meth:`FeaturePlan.transform`.
+
+    Holds the plan's expression trees (parsed exactly once, at plan
+    construction) and evaluates them as vectorized numpy computations
+    against a schema-checked :class:`~repro.frame.Frame`.  Serving
+    layers (:class:`repro.serve.TransformService`) hold on to this
+    handle so repeated requests against one plan never re-parse; it is
+    stateless and safe to share across threads.
+    """
+
+    __slots__ = ("feature_names", "input_columns", "_expressions")
+
+    def __init__(
+        self,
+        feature_names: list[str],
+        input_columns: list[str],
+        expressions: list[Expression],
+    ) -> None:
+        self.feature_names = feature_names
+        self.input_columns = input_columns
+        self._expressions = expressions
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.feature_names
+
+    def __call__(self, frame: Frame) -> np.ndarray:
+        """Evaluate every expression against ``frame`` as one matrix.
+
+        The frame must already satisfy the plan's schema (the plan's
+        ``_coerce`` guarantees it); no per-request validation happens
+        here — this is the hot serving path.
+        """
+        if self.is_identity:
+            return frame.select(self.input_columns).to_array()
+        out = np.empty(
+            (frame.n_rows, len(self._expressions)), dtype=np.float64
+        )
+        for j, expression in enumerate(self._expressions):
+            out[:, j] = expression.evaluate(frame)
+        return out
 
 
 def fpe_identity(fpe) -> dict | None:
@@ -100,12 +173,16 @@ class FeaturePlan:
         self.input_columns = [str(name) for name in input_columns]
         self.fpe = dict(fpe) if fpe else None
         self.provenance = dict(provenance or {})
-        # One compiled evaluation pipeline for the whole library:
-        # FeatureTransformer owns expression parsing and vectorized
-        # evaluation; the plan layers schema, fingerprint, and
-        # provenance on top.
-        self._transformer = FeatureTransformer(
-            self.feature_names, registry=self.registry
+        # Expressions are parsed exactly once, here; every transform —
+        # in-process, via a serving session, over HTTP — reuses the
+        # same compiled handle.
+        self._compiled = CompiledTransform(
+            self.feature_names,
+            self.input_columns,
+            [
+                parse_expression(name, self.registry)
+                for name in self.feature_names
+            ],
         )
         missing = self.required_columns - set(self.input_columns)
         if missing:
@@ -171,7 +248,39 @@ class FeaturePlan:
     @property
     def required_columns(self) -> set[str]:
         """Raw columns the plan's expressions need at inference time."""
-        return self._transformer.required_columns
+        out: set[str] = set()
+        for expression in self._compiled._expressions:
+            out |= expression.columns()
+        return out
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of this plan (see :func:`plan_fingerprint`)."""
+        return plan_fingerprint(self.to_dict())
+
+    @property
+    def compiled(self) -> CompiledTransform:
+        """The parse-once :class:`CompiledTransform` evaluation handle."""
+        return self._compiled
+
+    def diff(self, other: "FeaturePlan") -> dict:
+        """Expression-level comparison against another plan.
+
+        Returns a dict with ``shared`` (expressions in both, in this
+        plan's order), ``only_left`` (only in ``self``), ``only_right``
+        (only in ``other``), plus ``same_schema`` / ``same_registry``
+        flags.  The intended use is comparing seeds of one method: how
+        stable is the selected feature set across search randomness?
+        """
+        left, right = self.feature_names, other.feature_names
+        left_set, right_set = set(left), set(right)
+        return {
+            "shared": [name for name in left if name in right_set],
+            "only_left": [name for name in left if name not in right_set],
+            "only_right": [name for name in right if name not in left_set],
+            "same_schema": self.input_columns == other.input_columns,
+            "same_registry": self.registry_id == other.registry_id,
+        }
 
     @property
     def output_columns(self) -> list[str]:
@@ -212,10 +321,7 @@ class FeaturePlan:
         vectorized numpy computation over all rows.  Identity plans
         return the input columns unchanged.
         """
-        frame = self._coerce(X)
-        if self.is_identity:
-            return frame.select(self.input_columns).to_array()
-        return self._transformer.transform_array(frame)
+        return self._compiled(self._coerce(X))
 
     def transform_frame(self, X) -> Frame:
         """Like :meth:`transform`, returning a column-labelled Frame."""

@@ -10,17 +10,19 @@ the original columns.
 Also serializable (a list of canonical names is the whole state), so a
 feature set can be versioned alongside the downstream model.
 
-.. note::
-   New code should prefer :class:`repro.api.FeaturePlan`, which
-   subsumes this class: same compiled expressions plus input schema,
-   operator-registry fingerprint, FPE identity, and run provenance in
-   one versioned artifact.  ``FeatureTransformer`` remains as the thin
-   compatibility layer underneath existing pipelines.
+.. deprecated::
+   :class:`repro.api.FeaturePlan` subsumes this class: same compiled
+   expressions plus input schema, operator-registry fingerprint, FPE
+   identity, and run provenance in one versioned artifact, and it no
+   longer delegates here.  Instantiating ``FeatureTransformer`` emits
+   a :class:`DeprecationWarning`; the class remains only so existing
+   pipelines keep working while they migrate.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -53,6 +55,13 @@ class FeatureTransformer:
         feature_names: list[str],
         registry: OperatorRegistry | None = None,
     ) -> None:
+        warnings.warn(
+            "FeatureTransformer is deprecated; use repro.api.FeaturePlan "
+            "(same compiled expressions plus schema, fingerprint, and "
+            "provenance in one versioned artifact)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.registry = registry or default_registry()
         self.feature_names = list(feature_names)
         self._expressions: list[Expression] = [

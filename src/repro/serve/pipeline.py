@@ -1,0 +1,174 @@
+"""FeaturePipeline: a plan plus a downstream model, deployable as one.
+
+A :class:`~repro.api.plan.FeaturePlan` maps raw rows to engineered
+features; production traffic wants *predictions*.  ``FeaturePipeline``
+composes a plan (or an :class:`~repro.api.AutoFeatureEngineer`, fitted
+or not) with any :mod:`repro.ml` estimator into one sklearn-style
+object::
+
+    pipe = FeaturePipeline(
+        AutoFeatureEngineer(method="E-AFE", n_epochs=5, seed=0),
+        RandomForestClassifier(n_estimators=30, seed=0),
+    ).fit(X, y)
+    pipe.predict(X_new)
+    pipe.save("model.pipeline.pkl")          # one deployable artifact
+
+Between the plan and the model sits the same
+:func:`~repro.ml.base.sanitize_matrix` guard the search's evaluator
+uses — engineered features legitimately produce NaN/inf (0/0,
+division by ~0) and the downstream model must see exactly the values
+it was fitted on.
+
+Persistence is a pickle of ``{plan document, fitted model}``: the
+plan half is stored as its portable JSON document and re-validated on
+load through ``FeaturePlan.from_dict`` (operator-registry fingerprint
+included), so a pipeline refuses to load against a different operator
+set just like a bare plan.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from ..api.plan import FeaturePlan
+from ..ml.base import sanitize_matrix
+from .rows import rows_to_matrix
+
+__all__ = ["FeaturePipeline"]
+
+_PIPELINE_FORMAT_VERSION = 1
+
+
+class FeaturePipeline:
+    """Compose engineered-feature transform with a downstream model.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`FeaturePlan`, or anything with the
+        ``AutoFeatureEngineer`` surface (``fit(X, y)`` + ``to_plan()``)
+        — an unfitted engineer is searched during :meth:`fit`, a fitted
+        one contributes its existing plan.
+    model:
+        Any :mod:`repro.ml` estimator (``fit``/``predict``, optionally
+        ``predict_proba``).
+    """
+
+    def __init__(self, plan, model) -> None:
+        self.plan = plan
+        self.model = model
+        if isinstance(plan, FeaturePlan):
+            # A plan is already fitted state; only the model half may
+            # still need fit().
+            self.plan_ = plan
+
+    # -- internals ---------------------------------------------------------
+    def _features(self, X) -> np.ndarray:
+        """Engineered features for ``X``, sanitized for the model."""
+        return sanitize_matrix(self.plan_.transform(X))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "plan_"):
+            raise RuntimeError(
+                "this FeaturePipeline is not fitted yet; call fit(X, y) "
+                "or load a saved pipeline"
+            )
+
+    # -- estimator API -----------------------------------------------------
+    def fit(self, X, y) -> "FeaturePipeline":
+        """Resolve the plan (searching if needed), then fit the model.
+
+        ``X`` is a numpy matrix or :class:`~repro.frame.Frame`; rows
+        feed the plan, engineered features feed the model.
+        """
+        plan = self.plan
+        if not isinstance(plan, FeaturePlan):
+            if not hasattr(plan, "to_plan"):
+                raise TypeError(
+                    "plan must be a FeaturePlan or expose "
+                    "fit(X, y)/to_plan() like AutoFeatureEngineer, got "
+                    f"{type(plan).__name__}"
+                )
+            if not hasattr(plan, "result_"):
+                plan.fit(X, y)
+            plan = plan.to_plan()
+        self.plan_ = plan
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        self.model.fit(self._features(X), y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Engineered features only (no model), sanitized."""
+        self._check_fitted()
+        return self._features(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Model predictions on the plan's engineered features."""
+        self._check_fitted()
+        return self.model.predict(self._features(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, when the downstream model supports them."""
+        self._check_fitted()
+        if not hasattr(self.model, "predict_proba"):
+            raise AttributeError(
+                f"{type(self.model).__name__} has no predict_proba"
+            )
+        return self.model.predict_proba(self._features(X))
+
+    def _rows_matrix(self, rows) -> np.ndarray:
+        self._check_fitted()
+        return rows_to_matrix(self.plan_.input_columns, rows)
+
+    def predict_rows(self, rows) -> list:
+        """JSON-shaped prediction for online traffic.
+
+        ``rows`` takes the shapes every serving entry point accepts
+        (see :func:`repro.serve.rows.rows_to_matrix`): one row or a
+        batch, flat value lists (positional against the plan's input
+        schema) or ``{column: value}`` mappings.  Returns a plain list
+        — what the HTTP ``/predict`` endpoint serializes.
+        """
+        return self.predict(self._rows_matrix(rows)).tolist()
+
+    def predict_proba_rows(self, rows) -> list:
+        """JSON-shaped class probabilities for online traffic."""
+        return self.predict_proba(self._rows_matrix(rows)).tolist()
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist plan document + fitted model as one pickle artifact."""
+        self._check_fitted()
+        payload = {
+            "format_version": _PIPELINE_FORMAT_VERSION,
+            "plan": self.plan_.to_dict(),
+            "model": self.model,
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | Path, registry=None) -> "FeaturePipeline":
+        """Rebuild a pipeline saved by :meth:`save`.
+
+        ``registry`` is the operator registry the plan was searched
+        with (defaults to the paper's); a mismatched registry refuses
+        to load, exactly like :meth:`FeaturePlan.load`.
+        """
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        version = payload.get("format_version")
+        if version != _PIPELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported FeaturePipeline format version {version!r}"
+            )
+        plan = FeaturePlan.from_dict(payload["plan"], registry=registry)
+        return cls(plan, payload["model"])
+
+    def __repr__(self) -> str:
+        plan = getattr(self, "plan_", None)
+        label = repr(plan) if plan is not None else "<unfitted>"
+        return f"FeaturePipeline(plan={label}, model={self.model!r})"

@@ -1,0 +1,726 @@
+"""PlanRegistry: the versioned store serving pulls plans from.
+
+A search produces :class:`~repro.api.plan.FeaturePlan` artifacts; a
+serving fleet needs to *address* them.  Files on disk answer "which
+bytes", not "which plan" — no versioning, no dedup, no provenance of
+what is actually deployed.  :class:`PlanRegistry` is the hand-off
+point between the two worlds:
+
+* plans are **published** under a name and get a monotonically
+  increasing integer version (``credit/E-AFE@1``, ``@2``, ...);
+* every stored document is also addressed by its **content
+  fingerprint** (:func:`~repro.api.plan.plan_fingerprint` — the
+  expression list + input schema + operator-registry id), so two runs
+  that selected the same feature set share one artifact: re-publishing
+  identical content is an idempotent no-op, while publishing
+  *different* content to an existing version is refused;
+* loads re-validate: the fingerprint recorded at publish time must
+  match the document (a hand-edited artifact refuses to serve —
+  :class:`PlanIntegrityError`) and the document's operator-registry id
+  must match the registry the plan is compiled against — exactly the
+  :meth:`FeaturePlan.load` contract.
+
+Two interchangeable backends, selected from the path:
+
+* **directory** — one pure plan JSON per version under
+  ``<root>/<name>/<version>.plan.json`` (each file remains directly
+  loadable with ``FeaturePlan.load``) plus a ``<version>.plan.meta``
+  sidecar carrying publish metadata.  Both files land via atomic
+  filesystem operations (temp file + ``link``/``replace``), so a
+  server resolving bare names *while* a publisher writes never sees a
+  torn document, and two processes racing on one version cannot
+  silently overwrite each other.
+* **SQLite** — one ``plans`` table using the same WAL-mode recipe as
+  :mod:`repro.store.backends`, but with a single shared connection
+  serialized by a lock: serving resolves metadata on short-lived HTTP
+  threads (``ThreadingHTTPServer`` spawns one per connection), where
+  the store's per-thread connections would pay a fresh
+  ``sqlite3.connect`` + PRAGMAs on nearly every request.
+
+Metadata queries (version listing, fingerprints, ``/plans``) never
+parse plan documents — only :meth:`PlanRegistry.get` does, once per
+compile.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..api.plan import FeaturePlan, plan_fingerprint
+from ..operators.registry import (
+    OperatorRegistry,
+    default_registry,
+    registry_fingerprint,
+)
+
+__all__ = [
+    "PlanIntegrityError",
+    "PlanNotFound",
+    "PlanRecord",
+    "PlanRegistry",
+    "plan_name_of_path",
+]
+
+#: Plan names are path-ish identifiers: slash-separated segments of
+#: word characters, dots, and dashes.  No empty segments, no leading
+#: dots (so a directory backend can never be walked out of).
+_NAME_PATTERN = re.compile(
+    r"^[A-Za-z0-9_][A-Za-z0-9_.\-]*(/[A-Za-z0-9_][A-Za-z0-9_.\-]*)*$"
+)
+
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+class PlanNotFound(KeyError):
+    """A serving reference names no published plan.
+
+    Distinct from :class:`KeyError` so transport layers can map
+    "unknown plan" (HTTP 404) apart from malformed requests (400)
+    without sniffing messages.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else "plan not found"
+
+
+class PlanIntegrityError(ValueError):
+    """A stored plan fails validation (tampered bytes, foreign registry).
+
+    This is *server-side* data corruption, not a malformed request —
+    transport layers should map it to a 5xx, not a 4xx.
+    """
+
+
+def plan_name_of_path(path: str | Path) -> str:
+    """Default registry/serving name of a plan file: its bare stem.
+
+    Strips the conventional ``.plan.json`` suffixes, so the CLI's
+    ``--plan features.plan.json`` and
+    :meth:`PlanRegistry.publish_file` agree on one name.
+    """
+    name = Path(path).name
+    for suffix in (".json", ".plan"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    return name
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """One published plan version (metadata only, no document)."""
+
+    name: str
+    version: int
+    fingerprint: str
+    registry_id: str
+    n_features: int
+    created_at: float
+
+    @property
+    def ref(self) -> str:
+        """The canonical ``name@version`` serving reference."""
+        return f"{self.name}@{self.version}"
+
+
+def _document_meta(document: dict) -> tuple[str, str, int]:
+    """(fingerprint, registry_id, n_features) of a plan document."""
+    names = document.get("feature_names") or []
+    n_features = len(names) if names else len(document["input_columns"])
+    return plan_fingerprint(document), document["registry_id"], n_features
+
+
+def _record_of_document(
+    name: str, version: int, document: dict, created_at: float
+) -> PlanRecord:
+    fingerprint, registry_id, n_features = _document_meta(document)
+    return PlanRecord(
+        name=name,
+        version=int(version),
+        fingerprint=fingerprint,
+        registry_id=registry_id,
+        n_features=n_features,
+        created_at=created_at,
+    )
+
+
+class _DirectoryBackend:
+    """``<root>/<name>/<version>.plan.json`` + ``.plan.meta`` sidecars."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str, version: int) -> Path:
+        return self.root / name / f"{version}.plan.json"
+
+    def versions(self, name: str) -> list[int]:
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+        out = []
+        for path in directory.glob("*.plan.json"):
+            stem = path.name[: -len(".plan.json")]
+            if stem.isdigit():
+                out.append(int(stem))
+        return sorted(out)
+
+    def names(self) -> list[str]:
+        out = set()
+        for path in self.root.rglob("*.plan.json"):
+            out.add(path.parent.relative_to(self.root).as_posix())
+        return sorted(out)
+
+    def put(
+        self, name: str, version: int, document: dict, created_at: float
+    ) -> None:
+        """Atomically write one version; refuses an existing one.
+
+        The document lands via temp file + ``os.link`` — readers
+        resolving the latest version mid-publish see either nothing or
+        the complete file, never a torn JSON, and two processes racing
+        on one version get ``FileExistsError`` instead of a silent
+        overwrite (the SQLite backend's PRIMARY KEY equivalent).
+        """
+        path = self._path(name, version)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document_tmp = path.with_suffix(".json.tmp")
+        document_tmp.write_text(json.dumps(document, indent=2), encoding="utf-8")
+        try:
+            os.link(document_tmp, path)
+        finally:
+            document_tmp.unlink()
+        # Sidecar lands after the document (atomic replace): a reader
+        # in the gap treats the plan as hand-dropped (no tamper check)
+        # rather than missing.
+        fingerprint, registry_id, n_features = _document_meta(document)
+        meta_tmp = path.with_suffix(".meta.tmp")
+        meta_tmp.write_text(
+            json.dumps(
+                {
+                    "fingerprint": fingerprint,
+                    "registry_id": registry_id,
+                    "n_features": n_features,
+                    "created_at": created_at,
+                }
+            ),
+            encoding="utf-8",
+        )
+        os.replace(meta_tmp, path.with_suffix(".meta"))
+
+    def get(self, name: str, version: int) -> tuple[dict, float] | None:
+        path = self._path(name, version)
+        if not path.is_file():
+            return None
+        document = json.loads(path.read_text(encoding="utf-8"))
+        return document, path.stat().st_mtime
+
+    def _sidecar(self, name: str, version: int) -> dict | None:
+        path = self._path(name, version).with_suffix(".meta")
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def fingerprint(self, name: str, version: int) -> str | None:
+        """Published fingerprint (``None`` for hand-dropped plan files)."""
+        sidecar = self._sidecar(name, version)
+        return None if sidecar is None else sidecar["fingerprint"]
+
+    def meta(self, name: str, version: int) -> PlanRecord | None:
+        """Version metadata without parsing the plan document.
+
+        Hand-dropped files (no sidecar) fall back to reading the
+        document once.
+        """
+        sidecar = self._sidecar(name, version)
+        if sidecar is not None:
+            return PlanRecord(
+                name=name,
+                version=int(version),
+                fingerprint=sidecar["fingerprint"],
+                registry_id=sidecar["registry_id"],
+                n_features=int(sidecar["n_features"]),
+                created_at=float(sidecar["created_at"]),
+            )
+        stored = self.get(name, version)
+        if stored is None:
+            return None
+        document, created_at = stored
+        return _record_of_document(name, version, document, created_at)
+
+    def records_meta(self) -> list[PlanRecord]:
+        out = []
+        for name in self.names():
+            for version in self.versions(name):
+                record = self.meta(name, version)
+                if record is not None:
+                    out.append(record)
+        return out
+
+    def close(self) -> None:
+        """Nothing to release for a directory backend."""
+
+
+class _SqliteBackend:
+    """One ``plans`` table over a single lock-serialized connection.
+
+    Same WAL/busy-timeout recipe as :mod:`repro.store.backends`, but
+    one shared connection instead of thread-locals: the serving hot
+    path resolves metadata from a fresh thread per HTTP connection,
+    where per-thread connections would re-run ``sqlite3.connect`` +
+    PRAGMAs + DDL on nearly every request.  Fork-safe the same way —
+    a forked child lazily reconnects instead of reusing the parent's
+    handle.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS plans (
+        name        TEXT NOT NULL,
+        version     INTEGER NOT NULL,
+        fingerprint TEXT NOT NULL,
+        registry_id TEXT NOT NULL,
+        n_features  INTEGER NOT NULL,
+        document    TEXT NOT NULL,
+        created_at  REAL NOT NULL,
+        PRIMARY KEY (name, version)
+    )
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._handle: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+        with self._connection() as connection:
+            connection.execute("SELECT 1")  # fail fast on unusable paths
+
+    @contextlib.contextmanager
+    def _connection(self):
+        with self._lock:
+            if self._handle is None or self._pid != os.getpid():
+                self._pid = os.getpid()
+                connection = sqlite3.connect(
+                    self.path,
+                    timeout=self.timeout,
+                    isolation_level=None,
+                    check_same_thread=False,
+                )
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.execute(
+                    f"PRAGMA busy_timeout={int(self.timeout * 1000)}"
+                )
+                connection.execute(self._SCHEMA)
+                self._handle = connection
+            yield self._handle
+
+    def versions(self, name: str) -> list[int]:
+        with self._connection() as connection:
+            rows = connection.execute(
+                "SELECT version FROM plans WHERE name = ? ORDER BY version",
+                (name,),
+            ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def names(self) -> list[str]:
+        with self._connection() as connection:
+            rows = connection.execute(
+                "SELECT DISTINCT name FROM plans ORDER BY name"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def put(
+        self, name: str, version: int, document: dict, created_at: float
+    ) -> None:
+        fingerprint, registry_id, n_features = _document_meta(document)
+        with self._connection() as connection:
+            connection.execute(
+                "INSERT INTO plans (name, version, fingerprint, registry_id,"
+                " n_features, document, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name,
+                    int(version),
+                    fingerprint,
+                    registry_id,
+                    int(n_features),
+                    json.dumps(document),
+                    created_at,
+                ),
+            )
+
+    def get(self, name: str, version: int) -> tuple[dict, float] | None:
+        with self._connection() as connection:
+            row = connection.execute(
+                "SELECT document, created_at FROM plans WHERE name = ? AND"
+                " version = ?",
+                (name, int(version)),
+            ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0]), float(row[1])
+
+    def fingerprint(self, name: str, version: int) -> str | None:
+        """Published fingerprint as stored at publish time."""
+        with self._connection() as connection:
+            row = connection.execute(
+                "SELECT fingerprint FROM plans WHERE name = ? AND version = ?",
+                (name, int(version)),
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def meta(self, name: str, version: int) -> PlanRecord | None:
+        """Version metadata in one indexed SELECT, no document parse."""
+        with self._connection() as connection:
+            row = connection.execute(
+                "SELECT fingerprint, registry_id, n_features, created_at"
+                " FROM plans WHERE name = ? AND version = ?",
+                (name, int(version)),
+            ).fetchone()
+        if row is None:
+            return None
+        return PlanRecord(
+            name=name,
+            version=int(version),
+            fingerprint=row[0],
+            registry_id=row[1],
+            n_features=int(row[2]),
+            created_at=float(row[3]),
+        )
+
+    def records_meta(self) -> list[PlanRecord]:
+        with self._connection() as connection:
+            rows = connection.execute(
+                "SELECT name, version, fingerprint, registry_id, n_features,"
+                " created_at FROM plans ORDER BY name, version"
+            ).fetchall()
+        return [
+            PlanRecord(
+                name=row[0],
+                version=int(row[1]),
+                fingerprint=row[2],
+                registry_id=row[3],
+                n_features=int(row[4]),
+                created_at=float(row[5]),
+            )
+            for row in rows
+        ]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._pid == os.getpid():
+                self._handle.close()
+            self._handle = None
+
+
+class PlanRegistry:
+    """Versioned, fingerprint-addressed store of feature plans.
+
+    Parameters
+    ----------
+    path:
+        Directory root or SQLite database file.  With
+        ``backend="auto"`` an existing directory (or a path without a
+        SQLite suffix) selects the directory backend; ``.db`` /
+        ``.sqlite`` / ``.sqlite3`` paths and existing files select
+        SQLite.
+    backend:
+        ``"auto"``, ``"dir"``, or ``"sqlite"``.
+    operator_registry:
+        The :class:`~repro.operators.registry.OperatorRegistry` plans
+        are validated and compiled against; defaults to the paper's
+        nine operators.  Publishing or loading a plan built under a
+        different operator set raises, exactly like
+        :meth:`FeaturePlan.load`.
+
+    Publishing is idempotent on content: re-publishing a document whose
+    fingerprint already exists under the name returns the existing
+    record instead of minting a new version.  Concurrent publishers in
+    one process are serialized by a lock; across processes, the
+    backends' exclusive inserts turn a same-version race into an error
+    instead of a silent overwrite.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        backend: str = "auto",
+        operator_registry: OperatorRegistry | None = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.operator_registry = operator_registry or default_registry()
+        self.operator_registry_id = registry_fingerprint(self.operator_registry)
+        if backend == "auto":
+            backend = self._sniff_backend(self.path)
+        if backend == "dir":
+            self._backend = _DirectoryBackend(self.path)
+        elif backend == "sqlite":
+            self._backend = _SqliteBackend(self.path)
+        else:
+            raise ValueError(
+                f"backend must be 'auto', 'dir', or 'sqlite', got {backend!r}"
+            )
+        self.backend = backend
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _sniff_backend(path: str) -> str:
+        if os.path.isdir(path):
+            return "dir"
+        if os.path.isfile(path):
+            return "sqlite"
+        suffix = Path(path).suffix.lower()
+        return "sqlite" if suffix in _SQLITE_SUFFIXES else "dir"
+
+    # -- publishing --------------------------------------------------------
+    def _validate_name(self, name: str) -> str:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid plan name {name!r}: use slash-separated segments "
+                "of letters, digits, '.', '_', '-'"
+            )
+        return name
+
+    def _as_document(self, plan: FeaturePlan | dict) -> dict:
+        if isinstance(plan, FeaturePlan):
+            document = plan.to_dict()
+        else:
+            document = dict(plan)
+        # Compiling through from_dict is the whole validation story:
+        # format version, operator-registry fingerprint, parseable
+        # expressions, schema-covered columns.
+        FeaturePlan.from_dict(document, registry=self.operator_registry)
+        return document
+
+    def _published_fingerprint(self, name: str, version: int) -> str:
+        """Fingerprint recorded at publish time (recomputed if absent)."""
+        stored = self._backend.fingerprint(name, version)
+        if stored is not None:
+            return stored
+        return self.record(name, version).fingerprint
+
+    def publish(
+        self,
+        plan: FeaturePlan | dict,
+        name: str,
+        version: int | None = None,
+    ) -> PlanRecord:
+        """Store a plan under ``name``; returns its :class:`PlanRecord`.
+
+        With ``version=None`` (the default) the next free version is
+        allocated — unless some existing version of ``name`` already
+        holds a document with the same content fingerprint, in which
+        case that record is returned and nothing is written.  An
+        explicit ``version`` that already exists is only accepted when
+        the fingerprints match (idempotent re-publish); differing
+        content is refused.
+        """
+        self._validate_name(name)
+        document = self._as_document(plan)
+        fingerprint = plan_fingerprint(document)
+        with self._lock:
+            versions = self._backend.versions(name)
+            if version is None:
+                for existing in versions:
+                    if self._published_fingerprint(name, existing) == fingerprint:
+                        return self.record(name, existing)
+                version = (versions[-1] + 1) if versions else 1
+            elif version in versions:
+                existing_fingerprint = self._published_fingerprint(name, version)
+                if existing_fingerprint == fingerprint:
+                    return self.record(name, version)
+                raise ValueError(
+                    f"refusing fingerprint-mismatched publish: "
+                    f"{name}@{version} already holds "
+                    f"{existing_fingerprint}, got {fingerprint}"
+                )
+            try:
+                self._backend.put(name, int(version), document, time.time())
+            except (FileExistsError, sqlite3.IntegrityError) as error:
+                # Lost a cross-process race for this version number.
+                raise ValueError(
+                    f"{name}@{version} was published concurrently by "
+                    "another process; retry to allocate a fresh version"
+                ) from error
+            return self.record(name, int(version))
+
+    def publish_file(
+        self,
+        path: str | Path,
+        name: str | None = None,
+        version: int | None = None,
+    ) -> PlanRecord:
+        """Publish a plan JSON file; the name defaults to the file stem."""
+        path = Path(path)
+        if name is None:
+            name = plan_name_of_path(path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        return self.publish(document, name, version=version)
+
+    def publish_runs(
+        self,
+        runs,
+        dataset: str | None = None,
+        method: str | None = None,
+        seed: int | None = None,
+        prefix: str | None = None,
+    ) -> list[PlanRecord]:
+        """Ingest plans straight out of a bench run store.
+
+        ``runs`` is a :class:`~repro.store.runs.RunStore` or a path to
+        one.  Every completed cell carrying a feature-plan artifact
+        (optionally filtered by dataset/method/seed) is published under
+        ``[<prefix>/]<dataset>/<method>``; seeds of one method land as
+        successive versions of the same name, and content-identical
+        plans dedup to one version.
+        """
+        from ..store.runs import RunStore
+
+        if not isinstance(runs, RunStore):
+            runs = RunStore(os.fspath(runs))
+        out = []
+        for record, document in runs.plans(
+            dataset=dataset, method=method, seed=seed
+        ):
+            name = f"{record.dataset}/{record.method}"
+            if prefix:
+                name = f"{prefix}/{name}"
+            out.append(self.publish(document, name))
+        return out
+
+    # -- reading -----------------------------------------------------------
+    def latest_version(self, name: str) -> int | None:
+        """Highest published version of ``name``, or ``None``."""
+        if not _NAME_PATTERN.match(name):
+            # Read-path guard: a traversal-shaped name must never reach
+            # the directory backend's path construction.
+            return None
+        versions = self._backend.versions(name)
+        return versions[-1] if versions else None
+
+    def _pinned_version(self, name: str, version: int | None) -> int:
+        """Resolve ``version=None`` to latest; raise on unknown names."""
+        if version is None:
+            version = self.latest_version(name)
+            if version is None:
+                raise PlanNotFound(f"no plan published under {name!r}")
+            return version
+        if not _NAME_PATTERN.match(name):
+            raise PlanNotFound(f"no plan {name}@{version}")
+        return int(version)
+
+    def record(self, name: str, version: int | None = None) -> PlanRecord:
+        """Metadata of ``name@version`` (latest when ``version=None``).
+
+        Served from publish metadata (SQLite columns / directory
+        sidecar) — no plan document is parsed.
+        """
+        version = self._pinned_version(name, version)
+        record = self._backend.meta(name, version)
+        if record is None:
+            raise PlanNotFound(f"no plan {name}@{version}")
+        return record
+
+    def get(self, name: str, version: int | None = None) -> FeaturePlan:
+        """Load and compile ``name@version`` (latest when ``None``).
+
+        Raises :class:`PlanIntegrityError` for documents whose stored
+        bytes no longer match the fingerprint recorded at publish time,
+        and for documents that fail plan validation (foreign operator
+        registry, unparseable expressions) — the same contract as
+        :meth:`FeaturePlan.load`, with a type transport layers can map
+        to a 5xx.
+        """
+        version = self._pinned_version(name, version)
+        stored = self._backend.get(name, version)
+        if stored is None:
+            raise PlanNotFound(f"no plan {name}@{version}")
+        document, _ = stored
+        published = self._backend.fingerprint(name, version)
+        if published is not None and published != plan_fingerprint(document):
+            raise PlanIntegrityError(
+                f"content fingerprint mismatch for {name}@{version}: "
+                "stored document does not match its published fingerprint"
+            )
+        try:
+            return FeaturePlan.from_dict(
+                document, registry=self.operator_registry
+            )
+        except ValueError as error:
+            raise PlanIntegrityError(
+                f"stored plan {name}@{version} fails validation: {error}"
+            ) from error
+
+    def find_fingerprint(self, fingerprint: str) -> PlanRecord | None:
+        """Most recent record whose content matches ``fingerprint``."""
+        best: PlanRecord | None = None
+        for record in self.records():
+            if record.fingerprint == fingerprint:
+                if best is None or record.created_at >= best.created_at:
+                    best = record
+        return best
+
+    def resolve_ref(self, ref: str) -> tuple[str, int]:
+        """Resolve a serving reference to a pinned ``(name, version)``.
+
+        Accepted forms: ``name`` (latest version), ``name@version``,
+        and a content fingerprint (``plan-v1:...``, optionally prefixed
+        ``fp:``).  This is the serving hot path — for name refs it only
+        touches version metadata (a directory listing / one indexed
+        SELECT), never the plan documents.
+        """
+        if ref.startswith("fp:"):
+            ref = ref[3:]
+        if ref.startswith("plan-v1:"):
+            record = self.find_fingerprint(ref)
+            if record is None:
+                raise PlanNotFound(f"no plan with fingerprint {ref!r}")
+            return record.name, record.version
+        name, _, version = ref.partition("@")
+        if version:
+            if not version.isdigit():
+                raise ValueError(f"invalid plan reference {ref!r}")
+            pinned = self._pinned_version(name, int(version))
+            if pinned not in self._backend.versions(name):
+                raise PlanNotFound(f"no plan {name}@{pinned}")
+            return name, pinned
+        return name, self._pinned_version(name, None)
+
+    def resolve(self, ref: str) -> PlanRecord:
+        """Turn a serving reference into a concrete :class:`PlanRecord`."""
+        name, version = self.resolve_ref(ref)
+        return self.record(name, version)
+
+    def load(self, ref: str) -> tuple[PlanRecord, FeaturePlan]:
+        """Resolve ``ref`` and load its compiled plan."""
+        record = self.resolve(ref)
+        return record, self.get(record.name, record.version)
+
+    def names(self) -> list[str]:
+        """Every published plan name."""
+        return self._backend.names()
+
+    def records(self) -> list[PlanRecord]:
+        """Every published (name, version) record — metadata only."""
+        return self._backend.records_meta()
+
+    def __len__(self) -> int:
+        return sum(len(self._backend.versions(name)) for name in self.names())
+
+    def close(self) -> None:
+        """Release backend resources (SQLite connections)."""
+        self._backend.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanRegistry({self.path!r}, backend={self.backend!r}, "
+            f"{len(self)} plans)"
+        )

@@ -1,0 +1,48 @@
+"""JSON row-payload normalization, shared by every serving entry point.
+
+``TransformService.transform_rows``, ``FeaturePipeline.predict_rows``,
+and the HTTP endpoints all accept the same request shapes; this module
+is the single definition of those shapes, so error messages and edge
+cases (empty payloads, missing columns) cannot drift between
+endpoints:
+
+* one row as a ``{column: value}`` mapping;
+* one row as a flat value list (positional against ``input_columns``);
+* a batch of rows of either shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+__all__ = ["rows_to_matrix"]
+
+
+def rows_to_matrix(input_columns: list[str], rows) -> np.ndarray:
+    """Normalize a JSON-shaped row payload to a float64 matrix.
+
+    Mapping rows must carry every column in ``input_columns`` (extra
+    keys are ignored); positional rows are taken as-is.  Empty
+    payloads are rejected — an accidental ``[]`` is a client bug, not
+    a zero-row transform.
+    """
+
+    def of_mapping(row: Mapping) -> list[float]:
+        missing = [name for name in input_columns if name not in row]
+        if missing:
+            raise KeyError(f"row is missing input columns {missing!r}")
+        return [float(row[name]) for name in input_columns]
+
+    if isinstance(rows, Mapping):
+        return np.array([of_mapping(rows)], dtype=np.float64)
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to transform")
+    first = rows[0]
+    if isinstance(first, Mapping):
+        return np.array([of_mapping(row) for row in rows], dtype=np.float64)
+    if isinstance(first, (int, float)) and not isinstance(first, bool):
+        return np.array([rows], dtype=np.float64)
+    return np.asarray(rows, dtype=np.float64)

@@ -1,0 +1,229 @@
+"""Zero-dependency JSON HTTP endpoint over a TransformService.
+
+The repo can search features and persist plans; this module makes it
+*answer traffic*: a stdlib-only (``http.server``) threaded JSON API —
+no framework, no sockets library beyond the standard one — suitable
+for smoke deployments and as the reference wire protocol.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"status": "ok", "n_plans": ...}``.
+``GET /plans``
+    Every serveable reference with fingerprint and width.
+``GET /stats``
+    Per-plan serving counters (requests, rows, compiles, latency).
+``POST /transform``
+    ``{"rows": <row|rows>, "plan": <ref?>}`` →
+    ``{"plan": ref, "columns": [...], "rows": [[...]]}``.  Rows are
+    flat value lists (positional) or ``{column: value}`` mappings.
+``POST /predict``
+    Same request shape against the loaded pipeline →
+    ``{"predictions": [...]}`` (404 when no pipeline is configured).
+
+Bit-identity over the wire: responses serialize floats with Python's
+``repr`` (the shortest string that round-trips exactly), so a client
+parsing the JSON back into float64 recovers bit-identical values to
+an in-process ``FeaturePlan.transform`` — asserted by the test suite
+and the CI smoke step.
+
+Requests are handled by :class:`~http.server.ThreadingHTTPServer`
+(one thread per connection); the underlying
+:class:`~repro.serve.service.TransformService` is thread-safe, so
+concurrent clients share one compiled-plan cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .pipeline import FeaturePipeline
+from .registry import PlanIntegrityError, PlanNotFound
+from .service import TransformService
+
+__all__ = ["ServeApp", "PlanHTTPServer", "make_server"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServeApp:
+    """Transport-independent request handling (easy to unit-test).
+
+    Parameters
+    ----------
+    service:
+        The :class:`TransformService` answering ``/transform``.
+    default_plan:
+        Serving reference used when a request names no plan.
+    pipeline:
+        Optional :class:`FeaturePipeline` behind ``/predict``.
+    """
+
+    def __init__(
+        self,
+        service: TransformService,
+        default_plan: str | None = None,
+        pipeline: FeaturePipeline | None = None,
+    ) -> None:
+        self.service = service
+        self.default_plan = default_plan
+        self.pipeline = pipeline
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
+        """Route one request; returns ``(status_code, json_document)``."""
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self._healthz()
+            if method == "GET" and path == "/plans":
+                return 200, {"plans": self.service.available()}
+            if method == "GET" and path == "/stats":
+                return 200, self._stats()
+            if method == "POST" and path == "/transform":
+                return 200, self._transform(body or {})
+            if method == "POST" and path == "/predict":
+                return self._predict(body or {})
+            return 404, {"error": f"no such endpoint: {method} {path}"}
+        except PlanNotFound as error:
+            return 404, {"error": str(error)}
+        except PlanIntegrityError as error:
+            # Server-side data corruption (tampered document, foreign
+            # operator registry) — the client's request was fine.
+            return 500, {"error": str(error)}
+        except KeyError as error:
+            # Malformed request (e.g. a mapping row missing columns).
+            message = error.args[0] if error.args else str(error)
+            return 400, {"error": str(message)}
+        except (TypeError, ValueError) as error:
+            return 400, {"error": str(error)}
+
+    def _healthz(self) -> dict:
+        # Liveness must stay cheap: n_plans counts version metadata,
+        # never loading plan documents.
+        return {
+            "status": "ok",
+            "n_plans": self.service.n_plans(),
+            "default_plan": self.default_plan,
+            "has_pipeline": self.pipeline is not None,
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "plans": {
+                key: stats.as_dict()
+                for key, stats in self.service.stats().items()
+            }
+        }
+
+    def _plan_ref(self, body: dict) -> str:
+        ref = body.get("plan") or self.default_plan
+        if ref is None:
+            raise ValueError(
+                "request names no plan and the server has no default; "
+                "pass {\"plan\": \"name[@version]\"}"
+            )
+        return str(ref)
+
+    def _transform(self, body: dict) -> dict:
+        if "rows" not in body:
+            raise ValueError('request body must carry "rows"')
+        # serve_rows resolves the plan exactly once, so rows and column
+        # labels are always from the same version even when a
+        # concurrent publish moves the latest pointer mid-request.
+        return self.service.serve_rows(self._plan_ref(body), body["rows"])
+
+    def _predict(self, body: dict) -> tuple[int, dict]:
+        if self.pipeline is None:
+            return 404, {"error": "no pipeline loaded (start with --pipeline)"}
+        if "rows" not in body:
+            raise ValueError('request body must carry "rows"')
+        # predict_rows accepts every request shape /transform does —
+        # single mapping, flat row, or batches (shared rows_to_matrix).
+        rows = body["rows"]
+        document: dict = {"predictions": self.pipeline.predict_rows(rows)}
+        if body.get("proba"):
+            if not hasattr(self.pipeline.model, "predict_proba"):
+                raise ValueError(
+                    "pipeline model does not support predict_proba"
+                )
+            document["probabilities"] = self.pipeline.predict_proba_rows(rows)
+        return 200, document
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket layer: JSON in, JSON out, errors as JSON."""
+
+    server_version = "repro-serve/1.0"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _respond(self, status: int, document: dict) -> None:
+        payload = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        status, document = self.app.handle("GET", self.path, None)
+        self._respond(status, document)
+
+    def do_POST(self) -> None:  # noqa: N802
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self._respond(413, {"error": "request body too large"})
+            return
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._respond(400, {"error": f"invalid JSON body: {error}"})
+            return
+        if not isinstance(body, dict):
+            self._respond(400, {"error": "JSON body must be an object"})
+            return
+        status, document = self.app.handle("POST", self.path, body)
+        self._respond(status, document)
+
+    def log_message(self, format: str, *args) -> None:
+        """Per-request logging, gated on the server's verbose flag."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class PlanHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the :class:`ServeApp` for handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, app: ServeApp, verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+        self.verbose = verbose
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, examples)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def make_server(
+    service: TransformService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    default_plan: str | None = None,
+    pipeline: FeaturePipeline | None = None,
+    verbose: bool = False,
+) -> PlanHTTPServer:
+    """Build a ready-to-run server; ``port=0`` picks a free port.
+
+    The bound address is available as ``server.server_address``.
+    """
+    app = ServeApp(service, default_plan=default_plan, pipeline=pipeline)
+    return PlanHTTPServer((host, port), app, verbose=verbose)

@@ -9,6 +9,8 @@ subsystems can share one database):
     python -m repro.store plans  runs.db
     python -m repro.store plans  runs.db --dataset PimaIndian \
         --method E-AFE --out plan.json
+    python -m repro.store plans  runs.db --publish plans/
+    python -m repro.store plans  runs.db --method E-AFE --diff
 """
 
 from __future__ import annotations
@@ -60,21 +62,80 @@ def _export(path: str) -> dict:
     }
 
 
+def _diff_plans(matches) -> int:
+    """Expression-level diff of exactly two stored plans."""
+    from ..api.plan import FeaturePlan
+
+    if len(matches) != 2:
+        print(
+            f"--diff needs exactly two matching cells, found {len(matches)};"
+            " narrow with --dataset/--method/--seed",
+            file=sys.stderr,
+        )
+        return 1
+    (left_record, left_doc), (right_record, right_doc) = matches
+    left = FeaturePlan.from_dict(left_doc)
+    right = FeaturePlan.from_dict(right_doc)
+    diff = left.diff(right)
+    label_left = f"{left_record.dataset}/{left_record.method}@seed={left_record.seed}"
+    label_right = (
+        f"{right_record.dataset}/{right_record.method}@seed={right_record.seed}"
+    )
+    print(f"left:  {label_left}  ({len(left.feature_names)} features)")
+    print(f"right: {label_right}  ({len(right.feature_names)} features)")
+    for key, header in (
+        ("shared", "shared"),
+        ("only_left", "only left"),
+        ("only_right", "only right"),
+    ):
+        print(f"{header} ({len(diff[key])}):")
+        for name in diff[key]:
+            print(f"  {name}")
+    if not diff["same_schema"]:
+        print("note: input schemas differ", file=sys.stderr)
+    return 0
+
+
+def _publish_plans(matches, registry_path: str) -> int:
+    """Publish matching stored plans into a serving PlanRegistry."""
+    from ..serve.registry import PlanRegistry
+
+    if not matches:
+        # An empty publish is a deploy mistake (typo'd filter, wrong
+        # store); fail loudly instead of materializing a registry that
+        # serves nothing.
+        print("no stored plans match; nothing published", file=sys.stderr)
+        return 1
+    registry = PlanRegistry(registry_path)
+    for record, document in matches:
+        published = registry.publish(
+            document, f"{record.dataset}/{record.method}"
+        )
+        print(
+            f"{published.ref}  {published.fingerprint}  "
+            f"(seed={record.seed})"
+        )
+    print(
+        f"registry {registry_path}: {len(registry)} plans", file=sys.stderr
+    )
+    return 0
+
+
 def _plans(
     path: str,
     dataset: str | None,
     method: str | None,
     seed: int | None,
     out: str | None,
+    publish: str | None = None,
+    diff: bool = False,
 ) -> int:
-    """List stored feature-plan artifacts, or extract one as JSON."""
-    matches = [
-        (record, plan)
-        for record, plan in RunStore(path).plans()
-        if (dataset is None or record.dataset == dataset)
-        and (method is None or record.method == method)
-        and (seed is None or record.seed == seed)
-    ]
+    """List stored feature-plan artifacts, extract, publish, or diff."""
+    matches = RunStore(path).plans(dataset=dataset, method=method, seed=seed)
+    if diff:
+        return _diff_plans(matches)
+    if publish is not None:
+        return _publish_plans(matches, publish)
     if out is not None:
         if len(matches) != 1:
             print(
@@ -118,6 +179,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None, help="filter plans by seed"
     )
+    parser.add_argument(
+        "--publish",
+        default=None,
+        metavar="REGISTRY",
+        help="publish matching plans into a serving PlanRegistry "
+        "(directory or .db path; plans mode)",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="expression-level diff of exactly two matching plans "
+        "(plans mode)",
+    )
     args = parser.parse_args(argv)
 
     # Inspection must never create state: a typo'd path errors out
@@ -130,7 +204,15 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(_stats(args.path), indent=2))
         return 0
     if args.command == "plans":
-        return _plans(args.path, args.dataset, args.method, args.seed, args.out)
+        return _plans(
+            args.path,
+            args.dataset,
+            args.method,
+            args.seed,
+            args.out,
+            publish=args.publish,
+            diff=args.diff,
+        )
     if args.command == "vacuum":
         before = os.path.getsize(args.path)
         SqliteBackend(args.path).vacuum()

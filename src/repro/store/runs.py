@@ -191,8 +191,17 @@ class RunStore(SqliteConnectionOwner):
             return None
         return payload.get("feature_plan")
 
-    def plans(self) -> list[tuple[RunRecord, dict]]:
+    def plans(
+        self,
+        dataset: str | None = None,
+        method: str | None = None,
+        seed: int | None = None,
+    ) -> list[tuple[RunRecord, dict]]:
         """Every completed cell that carries a feature-plan artifact.
+
+        Optional dataset/method/seed filters narrow the cells — the
+        same axes the store CLI and registry ingestion
+        (:meth:`repro.serve.PlanRegistry.publish_runs`) select on.
 
         One pass with SQLite's ``json_extract`` pulls just the plan
         documents — payloads also carry the (much larger) serialized
@@ -202,6 +211,15 @@ class RunStore(SqliteConnectionOwner):
         """
         import sqlite3
 
+        filters = ""
+        parameters: list = []
+        for column, value in (
+            ("dataset", dataset), ("method", method), ("seed", seed),
+        ):
+            if value is not None:
+                filters += f" AND {column} = ?"
+                parameters.append(value)
+
         try:
             rows = self._connection().execute(
                 "SELECT dataset, method, seed, config_hash, status,"
@@ -210,7 +228,9 @@ class RunStore(SqliteConnectionOwner):
                 " json_extract(payload, '$.feature_plan')"
                 " FROM runs WHERE status = 'completed'"
                 " AND json_extract(payload, '$.feature_plan') IS NOT NULL"
-                " ORDER BY dataset, method, seed"
+                + filters
+                + " ORDER BY dataset, method, seed",
+                parameters,
             ).fetchall()
             return [
                 (RunRecord(*row[:11]), json.loads(row[11])) for row in rows
@@ -218,6 +238,12 @@ class RunStore(SqliteConnectionOwner):
         except sqlite3.OperationalError:
             out: list[tuple[RunRecord, dict]] = []
             for record in self.records(status="completed"):
+                if (
+                    (dataset is not None and record.dataset != dataset)
+                    or (method is not None and record.method != method)
+                    or (seed is not None and record.seed != seed)
+                ):
+                    continue
                 plan = self.completed_plan(
                     record.dataset, record.method, record.seed,
                     record.config_hash,

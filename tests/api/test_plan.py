@@ -160,3 +160,69 @@ class TestFreshProcessBitIdentity:
         fresh = np.load(out_path)
         assert fresh.dtype == expected.dtype
         assert fresh.tobytes() == expected.tobytes()
+
+
+class TestFingerprintAndCompiled:
+    def test_fingerprint_covers_transform_content_only(self):
+        # Same expressions + schema from different runs (provenance,
+        # FPE identity) share one fingerprint — the DIFER-style reuse
+        # key serving artifacts are addressed by.
+        base = _plan()
+        same_content = _plan(provenance={"dataset": "other"}, fpe=None)
+        assert base.fingerprint == same_content.fingerprint
+        assert base.fingerprint.startswith("plan-v1:")
+
+    def test_fingerprint_changes_with_content(self):
+        assert _plan().fingerprint != _plan(feature_names=["f0"]).fingerprint
+        assert (
+            _plan().fingerprint
+            != _plan(input_columns=["f0", "f1", "f2", "f3"]).fingerprint
+        )
+
+    def test_compiled_handle_matches_transform(self):
+        from repro.frame import Frame
+
+        plan = _plan()
+        X = np.random.default_rng(0).normal(size=(8, 3)) + 2.0
+        frame = Frame(X, columns=plan.input_columns)
+        assert plan.compiled(frame).tobytes() == plan.transform(X).tobytes()
+
+    def test_identity_compiled_handle(self):
+        from repro.frame import Frame
+
+        plan = _plan(feature_names=[])
+        X = np.random.default_rng(1).normal(size=(5, 3))
+        frame = Frame(X, columns=plan.input_columns)
+        assert plan.compiled.is_identity
+        assert plan.compiled(frame).tobytes() == X.tobytes()
+
+
+class TestDiff:
+    def test_shared_and_exclusive_expressions(self):
+        left = _plan(feature_names=["f0", "mul(f0,f1)", "log(f2)"])
+        right = _plan(feature_names=["log(f2)", "div(f0,f1)"])
+        diff = left.diff(right)
+        assert diff["shared"] == ["log(f2)"]
+        assert diff["only_left"] == ["f0", "mul(f0,f1)"]
+        assert diff["only_right"] == ["div(f0,f1)"]
+        assert diff["same_schema"] is True
+        assert diff["same_registry"] is True
+
+    def test_diff_is_order_preserving_and_symmetric(self):
+        left = _plan(feature_names=["f0", "f1", "f2"])
+        right = _plan(feature_names=["f2", "f0"])
+        diff = left.diff(right)
+        mirrored = right.diff(left)
+        assert diff["shared"] == ["f0", "f2"]  # left order
+        assert mirrored["shared"] == ["f2", "f0"]  # right order
+        assert diff["only_left"] == mirrored["only_right"] == ["f1"]
+
+    def test_schema_mismatch_flagged(self):
+        left = _plan()
+        right = _plan(input_columns=["f0", "f1", "f2", "extra"])
+        assert left.diff(right)["same_schema"] is False
+
+    def test_identity_plans_diff_empty(self):
+        diff = _plan(feature_names=[]).diff(_plan(feature_names=[]))
+        assert diff["shared"] == []
+        assert diff["only_left"] == diff["only_right"] == []

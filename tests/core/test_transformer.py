@@ -8,6 +8,17 @@ from repro.core.pretrain import make_evaluator_factory
 from repro.datasets import make_classification
 from repro.frame import Frame
 
+# The class is deprecated in favour of repro.api.FeaturePlan; its
+# behaviour is still under contract until removal, so the suite keeps
+# exercising it with the warning silenced.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+class TestDeprecation:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="FeaturePlan"):
+            FeatureTransformer(["f1"])
+
 
 class TestBasics:
     def test_empty_names_is_identity(self):

@@ -1,0 +1,158 @@
+"""FeaturePipeline: compose, fit/predict, persist, refuse."""
+
+import numpy as np
+import pytest
+
+from repro.api import AutoFeatureEngineer, FeaturePlan
+from repro.core import FPEModel
+from repro.core.pretrain import make_evaluator_factory
+from repro.datasets import make_classification
+from repro.ml import GaussianNB, RandomForestClassifier, Ridge
+from repro.operators import Operator, OperatorRegistry, default_registry
+from repro.serve import FeaturePipeline
+
+
+def _data(seed=0, n=80):
+    task = make_classification(n_samples=n, n_features=4, seed=seed)
+    return task.X.to_array(), task.y
+
+
+def _plan():
+    return FeaturePlan(
+        ["f0", "mul(f0,f1)", "div(f2,f3)"], ["f0", "f1", "f2", "f3"]
+    )
+
+
+class TestFitPredict:
+    def test_plan_plus_model(self):
+        X, y = _data()
+        pipe = FeaturePipeline(
+            _plan(), RandomForestClassifier(n_estimators=5, seed=0)
+        ).fit(X, y)
+        predictions = pipe.predict(X)
+        assert predictions.shape == (len(y),)
+        assert set(np.unique(predictions)) <= set(np.unique(y))
+
+    def test_features_match_plan_transform_sanitized(self):
+        from repro.ml.base import sanitize_matrix
+
+        X, y = _data()
+        pipe = FeaturePipeline(_plan(), GaussianNB()).fit(X, y)
+        expected = sanitize_matrix(_plan().transform(X))
+        assert pipe.transform(X).tobytes() == expected.tobytes()
+
+    def test_predict_proba(self):
+        X, y = _data()
+        pipe = FeaturePipeline(
+            _plan(), RandomForestClassifier(n_estimators=5, seed=0)
+        ).fit(X, y)
+        proba = pipe.predict_proba(X)
+        assert proba.shape[0] == len(y)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_proba_unsupported_model(self):
+        X, y = _data()
+        pipe = FeaturePipeline(_plan(), Ridge()).fit(X, y)
+        with pytest.raises(AttributeError, match="predict_proba"):
+            pipe.predict_proba(X)
+
+    def test_unfitted_predict_refused(self):
+        pipe = FeaturePipeline(
+            AutoFeatureEngineer(), RandomForestClassifier()
+        )
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.predict(np.zeros((2, 4)))
+
+    def test_invalid_plan_type(self):
+        pipe = FeaturePipeline("not-a-plan", GaussianNB())
+        with pytest.raises(TypeError, match="FeaturePlan"):
+            pipe.fit(*_data())
+
+    def test_predict_rows_mappings_and_lists(self):
+        X, y = _data()
+        pipe = FeaturePipeline(
+            _plan(), RandomForestClassifier(n_estimators=5, seed=0)
+        ).fit(X, y)
+        by_list = pipe.predict_rows([list(X[0]), list(X[1])])
+        by_map = pipe.predict_rows(
+            [dict(zip(["f0", "f1", "f2", "f3"], row)) for row in X[:2]]
+        )
+        assert by_list == by_map == pipe.predict(X[:2]).tolist()
+        proba = pipe.predict_proba_rows([list(X[0])])
+        assert len(proba[0]) == len(np.unique(y))
+
+
+class TestEstimatorComposition:
+    def _searched_pipeline(self):
+        corpus = [
+            make_classification(n_samples=50, n_features=4, seed=s)
+            for s in range(2)
+        ]
+        fpe = FPEModel(d=8, seed=0)
+        fpe.fit(corpus, make_evaluator_factory(), generated_per_dataset=2)
+        from repro.core.engine import EngineConfig
+
+        config = EngineConfig(
+            n_epochs=2, stage1_epochs=1, transforms_per_agent=2,
+            n_splits=3, n_estimators=3, seed=0,
+        )
+        afe = AutoFeatureEngineer(method="E-AFE", config=config, fpe=fpe)
+        return afe.as_pipeline(RandomForestClassifier(n_estimators=5, seed=0))
+
+    def test_unfitted_estimator_searches_then_fits(self):
+        X, y = _data(seed=3)
+        pipe = self._searched_pipeline().fit(X, y)
+        assert isinstance(pipe.plan_, FeaturePlan)
+        assert pipe.predict(X).shape == (len(y),)
+
+    def test_fitted_estimator_contributes_plan(self):
+        X, y = _data(seed=3)
+        pipe = self._searched_pipeline().fit(X, y)
+        fitted_afe = pipe.plan  # the estimator, fitted by pipe.fit above
+        again = fitted_afe.as_pipeline(GaussianNB())
+        # A fitted estimator hands over its existing plan immediately —
+        # no second search, fitted state before fit() is even called.
+        assert again.plan_ == pipe.plan_
+
+    def test_to_plan_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            AutoFeatureEngineer().to_plan()
+
+
+class TestPersistence:
+    def test_save_load_bit_identical_predictions(self, tmp_path):
+        X, y = _data()
+        pipe = FeaturePipeline(
+            _plan(), RandomForestClassifier(n_estimators=5, seed=0)
+        ).fit(X, y)
+        path = tmp_path / "model.pipeline.pkl"
+        pipe.save(path)
+        restored = FeaturePipeline.load(path)
+        assert restored.plan_ == pipe.plan_
+        assert restored.predict(X).tobytes() == pipe.predict(X).tobytes()
+        assert (
+            restored.predict_proba(X).tobytes()
+            == pipe.predict_proba(X).tobytes()
+        )
+
+    def test_save_unfitted_refused(self, tmp_path):
+        pipe = FeaturePipeline(AutoFeatureEngineer(), GaussianNB())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.save(tmp_path / "x.pkl")
+
+    def test_load_foreign_registry_refused(self, tmp_path):
+        X, y = _data()
+        custom = OperatorRegistry(
+            list(default_registry())
+            + [Operator("cube", 1, lambda x: x**3)]
+        )
+        plan = FeaturePlan(
+            ["cube(f0)"], ["f0", "f1", "f2", "f3"], registry=custom
+        )
+        pipe = FeaturePipeline(plan, GaussianNB()).fit(X, y)
+        path = tmp_path / "model.pipeline.pkl"
+        pipe.save(path)
+        with pytest.raises(ValueError, match="operator-registry mismatch"):
+            FeaturePipeline.load(path)
+        restored = FeaturePipeline.load(path, registry=custom)
+        assert restored.predict(X).tobytes() == pipe.predict(X).tobytes()

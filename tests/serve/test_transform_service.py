@@ -1,0 +1,194 @@
+"""TransformService: compiled-plan cache, counters, row payloads."""
+
+import numpy as np
+import pytest
+
+from repro.api import FeaturePlan
+from repro.serve import PlanRegistry, TransformService
+
+
+def _plan(names=("f0", "mul(f0,f1)", "log(f2)")):
+    return FeaturePlan(list(names), ["f0", "f1", "f2"])
+
+
+@pytest.fixture
+def registry(tmp_path):
+    registry = PlanRegistry(tmp_path / "plans")
+    registry.publish(_plan(), "demo")
+    return registry
+
+
+@pytest.fixture
+def X():
+    return np.random.default_rng(0).normal(size=(16, 3)) + 2.0
+
+
+class TestTransform:
+    def test_bit_identical_to_plan_transform(self, registry, X):
+        service = TransformService(registry=registry)
+        expected = _plan().transform(X)
+        assert service.transform("demo", X).tobytes() == expected.tobytes()
+        assert service.transform("demo@1", X).tobytes() == expected.tobytes()
+
+    def test_warm_cache_never_recompiles(self, registry, X):
+        # The acceptance-criteria assertion: a repeated plan is served
+        # without re-parsing its expressions, no matter how many
+        # requests hit it.
+        service = TransformService(registry=registry)
+        for _ in range(25):
+            service.transform("demo", X)
+        stats = service.stats("demo")
+        assert stats.n_compiles == 1
+        assert stats.n_requests == 25
+        assert stats.n_cache_hits == 24
+        assert stats.hit_rate == pytest.approx(24 / 25)
+        assert stats.n_rows == 25 * X.shape[0]
+
+    def test_unknown_plan(self, registry, X):
+        service = TransformService(registry=registry)
+        with pytest.raises(KeyError, match="no plan"):
+            service.transform("ghost", X)
+
+    def test_no_registry_no_pin(self, X):
+        with pytest.raises(KeyError, match="no registry attached"):
+            TransformService().transform("demo", X)
+
+    def test_bare_name_tracks_latest_version(self, registry, X):
+        service = TransformService(registry=registry)
+        before = service.transform("demo", X)
+        registry.publish(_plan(["f1"]), "demo")
+        after = service.transform("demo", X)
+        assert before.shape[1] == 3
+        assert after.shape[1] == 1
+        # Each version carries its own counters under its resolved key.
+        assert service.stats("demo@1").n_requests == 1
+        assert service.stats("demo@2").n_requests == 1
+
+    def test_output_columns(self, registry):
+        service = TransformService(registry=registry)
+        assert service.output_columns("demo") == [
+            "f0", "mul(f0,f1)", "log(f2)",
+        ]
+
+
+class TestLRUEviction:
+    def test_eviction_forces_recompile(self, tmp_path, X):
+        registry = PlanRegistry(tmp_path / "plans")
+        for i in range(3):
+            registry.publish(_plan([f"f{i}"]), f"plan{i}")
+        service = TransformService(registry=registry, capacity=2)
+        service.transform("plan0", X)
+        service.transform("plan1", X)
+        service.transform("plan2", X)  # evicts plan0
+        service.transform("plan0", X)  # recompile
+        assert service.stats("plan0").n_compiles == 2
+        assert service.stats("plan1").n_compiles == 1
+        assert service.n_compiled == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TransformService(capacity=0)
+
+
+class TestPinnedPlans:
+    def test_add_plan_serves_without_registry(self, X):
+        service = TransformService()
+        plan = _plan()
+        ref = service.add_plan(plan)
+        assert ref == plan.fingerprint
+        out = service.transform(ref, X)
+        assert out.tobytes() == plan.transform(X).tobytes()
+        assert service.stats(ref).n_compiles == 1
+
+    def test_custom_ref_and_availability(self, X):
+        service = TransformService()
+        service.add_plan(_plan(), ref="credit")
+        assert service.transform("credit", X).shape == (16, 3)
+        available = service.available()
+        assert available[0]["ref"] == "credit"
+        assert available[0]["pinned"] is True
+
+
+class TestTransformRows:
+    def test_single_mapping_row(self, registry):
+        service = TransformService(registry=registry)
+        rows = service.transform_rows(
+            "demo", {"f0": 1.0, "f1": 2.0, "f2": 3.0}
+        )
+        expected = _plan().transform(np.array([[1.0, 2.0, 3.0]]))
+        assert rows == expected.tolist()
+
+    def test_single_flat_row(self, registry):
+        service = TransformService(registry=registry)
+        rows = service.transform_rows("demo", [1.0, 2.0, 3.0])
+        assert np.asarray(rows).shape == (1, 3)
+
+    def test_batch_of_rows(self, registry, X):
+        service = TransformService(registry=registry)
+        rows = service.transform_rows("demo", X.tolist())
+        assert (
+            np.asarray(rows).tobytes() == _plan().transform(X).tobytes()
+        )
+
+    def test_batch_of_mappings(self, registry):
+        service = TransformService(registry=registry)
+        rows = service.transform_rows(
+            "demo",
+            [
+                {"f0": 1.0, "f1": 2.0, "f2": 3.0},
+                {"f0": 4.0, "f1": 5.0, "f2": 6.0},
+            ],
+        )
+        assert len(rows) == 2
+
+    def test_mapping_missing_column(self, registry):
+        service = TransformService(registry=registry)
+        with pytest.raises(KeyError, match="missing input columns"):
+            service.transform_rows("demo", {"f0": 1.0})
+
+    def test_empty_rows_rejected(self, registry):
+        service = TransformService(registry=registry)
+        with pytest.raises(ValueError, match="no rows"):
+            service.transform_rows("demo", [])
+
+    def test_serve_rows_pins_one_version(self, registry):
+        # Rows and column labels come from one resolution, and the
+        # response names the resolved version.
+        service = TransformService(registry=registry)
+        response = service.serve_rows("demo", [1.0, 2.0, 3.0])
+        assert response["plan"] == "demo@1"
+        assert response["columns"] == ["f0", "mul(f0,f1)", "log(f2)"]
+        registry.publish(_plan(["f1"]), "demo")
+        response = service.serve_rows("demo", [1.0, 2.0, 3.0])
+        assert response["plan"] == "demo@2"
+        assert response["columns"] == ["f1"]
+        assert len(response["rows"][0]) == 1
+
+    def test_rows_count_in_stats(self, registry):
+        service = TransformService(registry=registry)
+        service.transform_rows("demo", [1.0, 2.0, 3.0])
+        service.transform_rows("demo", [[1.0, 2.0, 3.0]] * 4)
+        assert service.stats("demo").n_rows == 5
+
+
+class TestStats:
+    def test_stats_snapshot_is_json_ready(self, registry, X):
+        import json
+
+        service = TransformService(registry=registry)
+        service.transform("demo", X)
+        snapshot = {
+            key: stats.as_dict() for key, stats in service.stats().items()
+        }
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["demo@1"]["n_compiles"] == 1
+        assert parsed["demo@1"]["n_rows"] == X.shape[0]
+
+    def test_counters_survive_eviction(self, tmp_path, X):
+        registry = PlanRegistry(tmp_path / "plans")
+        registry.publish(_plan(["f0"]), "a")
+        registry.publish(_plan(["f1"]), "b")
+        service = TransformService(registry=registry, capacity=1)
+        service.transform("a", X)
+        service.transform("b", X)  # evicts a
+        assert service.stats("a").n_requests == 1

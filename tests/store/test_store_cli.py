@@ -58,3 +58,69 @@ class TestStoreCLI:
     def test_unknown_command_rejected(self, populated):
         with pytest.raises(SystemExit):
             main(["defrag", populated])
+
+
+@pytest.fixture
+def plan_store(tmp_path):
+    """A run store holding two seeds' plans of one (dataset, method)."""
+    from repro.api import FeaturePlan
+
+    path = str(tmp_path / "runs.db")
+    store = RunStore(path)
+    for seed, names in ((0, ["f0", "mul(f0,f1)"]), (1, ["f0", "log(f2)"])):
+        plan = FeaturePlan(names, ["f0", "f1", "f2"])
+        store.finish(
+            "ds", "E-AFE", seed, "hash",
+            {"best_score": 0.9, "feature_plan": plan.to_dict()},
+        )
+    return path
+
+
+class TestPlansPublish:
+    def test_publish_into_registry(self, plan_store, tmp_path, capsys):
+        from repro.serve import PlanRegistry
+
+        registry_path = str(tmp_path / "registry")
+        assert main(["plans", plan_store, "--publish", registry_path]) == 0
+        out = capsys.readouterr().out
+        assert "ds/E-AFE@1" in out and "ds/E-AFE@2" in out
+        registry = PlanRegistry(registry_path)
+        assert registry.latest_version("ds/E-AFE") == 2
+
+    def test_publish_respects_filters(self, plan_store, tmp_path):
+        from repro.serve import PlanRegistry
+
+        registry_path = str(tmp_path / "registry.db")
+        assert main(
+            ["plans", plan_store, "--seed", "0", "--publish", registry_path]
+        ) == 0
+        assert PlanRegistry(registry_path).latest_version("ds/E-AFE") == 1
+
+    def test_publish_zero_matches_fails(self, plan_store, tmp_path, capsys):
+        registry_path = str(tmp_path / "registry")
+        assert main(
+            ["plans", plan_store, "--dataset", "Typo", "--publish",
+             registry_path]
+        ) == 1
+        assert "nothing published" in capsys.readouterr().err
+
+    def test_publish_is_idempotent(self, plan_store, tmp_path):
+        from repro.serve import PlanRegistry
+
+        registry_path = str(tmp_path / "registry")
+        assert main(["plans", plan_store, "--publish", registry_path]) == 0
+        assert main(["plans", plan_store, "--publish", registry_path]) == 0
+        assert len(PlanRegistry(registry_path)) == 2
+
+
+class TestPlansDiff:
+    def test_diff_two_seeds(self, plan_store, capsys):
+        assert main(["plans", plan_store, "--diff"]) == 0
+        out = capsys.readouterr().out
+        assert "shared (1):" in out
+        assert "mul(f0,f1)" in out
+        assert "log(f2)" in out
+
+    def test_diff_requires_exactly_two(self, plan_store, capsys):
+        assert main(["plans", plan_store, "--seed", "0", "--diff"]) == 1
+        assert "exactly two" in capsys.readouterr().err

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.bench",
     "repro.store",
     "repro.api",
+    "repro.serve",
 ]
 
 
