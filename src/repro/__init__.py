@@ -36,7 +36,12 @@ from .core import (
     pretrain_fpe,
     tune_fpe,
 )
-from .eval import EvaluationCache, EvaluationService, FeatureMatrixArena
+from .eval import (
+    EvaluationCache,
+    EvaluationService,
+    FeatureMatrixArena,
+    PoolExecutor,
+)
 from .store import (
     MemoryBackend,
     RunStore,
@@ -52,7 +57,7 @@ from .api import (
 )
 from .serve import FeaturePipeline, PlanRegistry, TransformService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AutoFeatureEngineer",
@@ -69,6 +74,7 @@ __all__ = [
     "EvaluationCache",
     "EvaluationService",
     "FeatureMatrixArena",
+    "PoolExecutor",
     "FPEModel",
     "MemoryBackend",
     "RunStore",

@@ -142,6 +142,7 @@ class DlThenFe:
                 best_score = score
                 selected = candidate
         elapsed = time.perf_counter() - started
+        service.close()  # releases a pool backend's workers, if any
         return AFEResult(
             dataset=task.name,
             method=self.method_name,
@@ -155,5 +156,6 @@ class DlThenFe:
             n_downstream_evaluations=evaluator.n_evaluations,
             n_cache_hits=service.n_cache_hits,
             n_cache_misses=service.n_cache_misses,
+            n_backend_fallbacks=service.stats.n_backend_fallbacks,
             wall_time=elapsed,
         )

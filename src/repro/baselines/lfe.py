@@ -90,6 +90,7 @@ class LFE:
                     sketches, labels = examples[operator.name]
                     sketches.append(sketch)
                     labels.append(int(score - base > self.config.thre))
+            service.close()  # releases a pool backend's workers, if any
         for name, (sketches, labels) in examples.items():
             if not sketches or len(set(labels)) < 2:
                 continue  # no signal for this transformation
@@ -154,6 +155,7 @@ class LFE:
         )
         best_score = max(base_score, final_score)
         elapsed = time.perf_counter() - started
+        service.close()  # releases a pool backend's workers, if any
         return AFEResult(
             dataset=task.name,
             method=self.method_name,
@@ -168,6 +170,7 @@ class LFE:
             n_generated=n_generated,
             n_cache_hits=service.n_cache_hits,
             n_cache_misses=service.n_cache_misses,
+            n_backend_fallbacks=service.stats.n_backend_fallbacks,
             evaluation_time=evaluator.total_eval_time,
             selected_matrix=augmented if final_score >= base_score else matrix,
             wall_time=elapsed,

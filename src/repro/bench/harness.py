@@ -10,13 +10,14 @@ identical across experiments.  Two scale profiles exist:
   only for manual runs with hours of budget.
 
 Set ``REPRO_BENCH_PROFILE=paper`` to switch.  ``REPRO_EVAL_BACKEND``
-(``serial``/``process``) selects the candidate-scoring backend of the
-:mod:`repro.eval` service for every method built by the harness, and
+(``serial``/``process``/``pool``) selects the candidate-scoring
+backend of the :mod:`repro.eval` service for every method built by
+the harness (``REPRO_EVAL_WORKERS`` sizes the parallel ones), and
 ``REPRO_EVAL_CACHE=0`` disables score memoization.  Scores are
-identical across backends, but the ``process`` backend prefetches
-sweeps speculatively, so evaluation-*count* tables (Table IV,
-Figure 9) are paper-comparable only under the default ``serial``
-backend.
+identical across backends, but the ``process`` and ``pool`` backends
+prefetch sweeps speculatively, so evaluation-*count* tables
+(Table IV, Figure 9) are paper-comparable only under the default
+``serial`` backend.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from collections.abc import Sequence
 from ..api.plan import FeaturePlan, fpe_identity
 from ..api.registry import searcher_registry
 from ..core.engine import AFEResult, EngineConfig
+from ..eval import BACKENDS as EVAL_BACKENDS
 from ..core.fpe import FPEModel
 from ..datasets.generators import TabularTask
 from ..datasets.registry import load as load_dataset
@@ -73,10 +75,12 @@ def bench_profile() -> str:
 
 
 def bench_eval_backend() -> str:
-    """Candidate-scoring backend: "serial" unless REPRO_EVAL_BACKEND=process."""
+    """Candidate-scoring backend: "serial" unless REPRO_EVAL_BACKEND says else."""
     backend = os.environ.get("REPRO_EVAL_BACKEND", "serial").lower()
-    if backend not in ("serial", "process"):
-        raise ValueError(f"unknown eval backend {backend!r}")
+    if backend not in EVAL_BACKENDS:
+        raise ValueError(
+            f"unknown eval backend {backend!r}; expected one of {EVAL_BACKENDS}"
+        )
     return backend
 
 

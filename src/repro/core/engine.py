@@ -63,8 +63,10 @@ class EngineConfig:
     per_step_rewards: bool = True  # False = NFS-style epoch-final credit
     patience: int | None = None  # early stop after N epochs w/o improvement
     eval_cache: bool = True  # memoize downstream scores by fingerprint
-    eval_backend: str = "serial"  # score_batch backend: "serial"|"process"
-    eval_workers: int | None = None  # process-backend pool size
+    eval_backend: str = "serial"  # scoring backend: "serial"|"process"|"pool"
+    eval_workers: int | None = None  # parallel-backend worker count
+    # (None: "process" caps at min(4, cpus), the persistent "pool"
+    # uses every core; REPRO_EVAL_WORKERS overrides either default)
     eval_store_path: str | None = None  # durable shared score store
     # (SQLite file; None falls back to the REPRO_EVAL_STORE env var,
     # and an unset env var means a per-process in-memory cache)
@@ -112,6 +114,7 @@ class AFEResult:
     n_filtered_out: int = 0
     n_cache_hits: int = 0  # candidate scores served from the eval cache
     n_cache_misses: int = 0  # candidate scores that paid a real CV fit
+    n_backend_fallbacks: int = 0  # parallel-backend failures scored serially
     wall_time: float = 0.0
     generation_time: float = 0.0  # time inside feature generation (Table I)
     evaluation_time: float = 0.0  # time inside downstream CV (Table I)
@@ -148,6 +151,7 @@ class AFEResult:
             "n_filtered_out": self.n_filtered_out,
             "n_cache_hits": self.n_cache_hits,
             "n_cache_misses": self.n_cache_misses,
+            "n_backend_fallbacks": self.n_backend_fallbacks,
             "cache_hit_rate": self.cache_hit_rate,
             "wall_time": self.wall_time,
             "generation_time": self.generation_time,
@@ -195,6 +199,7 @@ class AFEResult:
             n_filtered_out=payload.get("n_filtered_out", 0),
             n_cache_hits=payload.get("n_cache_hits", 0),
             n_cache_misses=payload.get("n_cache_misses", 0),
+            n_backend_fallbacks=payload.get("n_backend_fallbacks", 0),
             wall_time=payload.get("wall_time", 0.0),
             generation_time=payload.get("generation_time", 0.0),
             evaluation_time=payload.get("evaluation_time", 0.0),
@@ -348,16 +353,23 @@ class AFEEngine:
 
         Scoring is batched per sweep: an agent's surviving candidates
         are collected and streamed through
-        :meth:`EvaluationService.iter_scores` against the current
-        design matrix (arena views; the paper's Table I observation is
-        that the downstream fits dwarf everything else, and a shared
-        base per batch is what lets those fits be cached, deduplicated,
-        and farmed out to a process pool).  Whenever a candidate is
-        accepted the base matrix changes, so the remainder of the sweep
-        is re-issued against the new base — each candidate's *score* is
-        computed against the state including every previously accepted
-        feature, as sequential scoring would, and credit assignment
-        stays deterministic across backends.  One deliberate deviation
+        :meth:`EvaluationService.iter_scores_async` against the
+        current design matrix (arena views; the paper's Table I
+        observation is that the downstream fits dwarf everything else,
+        and a shared base per batch is what lets those fits be cached,
+        deduplicated, and farmed out to worker processes).  With the
+        persistent ``pool`` backend the sweep is *pipelined*: every
+        surviving candidate is in flight on the workers the moment the
+        FPE filter passes it, and the loop below consumes completions
+        in submission order while later fits are still running — the
+        sweep never synchronizes at a batch edge.  Whenever a candidate
+        is accepted the base matrix changes, so the remainder of the
+        sweep is re-issued against the new base — each candidate's
+        *score* is computed against the state including every
+        previously accepted feature, as sequential scoring would, and
+        credit assignment stays deterministic across backends (the
+        in-flight scores against the abandoned base are not discarded:
+        the service caches them for later).  One deliberate deviation
         from a fully sequential loop remains: a sweep's actions are all
         selected (and candidates generated) before any is scored, so
         same-sweep rewards and acceptances are not yet visible to
@@ -380,7 +392,7 @@ class AFEEngine:
             while queue:
                 base = space.feature_matrix()
                 base_names = space.feature_names()
-                scores = service.iter_scores(
+                scores = service.iter_scores_async(
                     base,
                     [transition.feature.values for transition in queue],
                     task.y,
@@ -451,7 +463,7 @@ class AFEEngine:
                 while queue:
                     base = space.feature_matrix()
                     base_names = space.feature_names()
-                    scores = service.iter_scores(
+                    scores = service.iter_scores_async(
                         base,
                         [feature.values for _, _, _, feature in queue],
                         task.y,
@@ -529,26 +541,34 @@ class AFEEngine:
             lam=self.config.lam,
             seed=self.config.seed,
         )
-        base_score = service.evaluate(working.X.to_array(), working.y)
-        result = AFEResult(
-            dataset=task.name,
-            method=self.method_name,
-            task=task.task,
-            base_score=base_score,
-            best_score=base_score,
-            selected_features=list(working.X.columns),
-        )
-        buffer = ReplayBuffer(capacity=self.config.replay_capacity)
-        if self.config.two_stage:
-            self._stage1(space, controller, buffer, base_score)
-        self._stage2(
-            space, controller, service, working, base_score, started, result,
-            buffer=buffer if self.config.two_stage else None,
-        )
+        try:
+            base_score = service.evaluate(working.X.to_array(), working.y)
+            result = AFEResult(
+                dataset=task.name,
+                method=self.method_name,
+                task=task.task,
+                base_score=base_score,
+                best_score=base_score,
+                selected_features=list(working.X.columns),
+            )
+            buffer = ReplayBuffer(capacity=self.config.replay_capacity)
+            if self.config.two_stage:
+                self._stage1(space, controller, buffer, base_score)
+            self._stage2(
+                space, controller, service, working, base_score, started,
+                result, buffer=buffer if self.config.two_stage else None,
+            )
+        finally:
+            # Releases the persistent worker pool and its shared-memory
+            # segments (a no-op for the serial/process backends) and
+            # flushes buffered score writes — straggler fits land in
+            # the evaluator's counters before they are read below.
+            service.close()
         result.n_downstream_evaluations = evaluator.n_evaluations
         result.evaluation_time = evaluator.total_eval_time
         result.n_cache_hits = service.n_cache_hits
         result.n_cache_misses = service.n_cache_misses
+        result.n_backend_fallbacks = service.stats.n_backend_fallbacks
         result.wall_time = time.perf_counter() - started
         return result
 

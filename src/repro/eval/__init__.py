@@ -1,12 +1,19 @@
-"""Candidate evaluation subsystem: cached, batched, parallel scoring.
+"""Candidate evaluation subsystem: cached, batched, pipelined scoring.
 
 Every downstream evaluation in the library flows through this layer.
 :class:`EvaluationService` memoizes scores by candidate fingerprint,
-reuses CV fold plans, and batches sweeps through serial or
-process-pool backends; :class:`FeatureMatrixArena` turns per-candidate
-matrix construction into an O(n) buffer write.  The un-cached primitive
+reuses CV fold plans, and batches sweeps through three bit-identical
+backends: ``serial`` (lazy, in-process), ``process`` (a fresh pool
+per batch), and ``pool`` (a persistent shared-memory
+:class:`PoolExecutor` whose workers receive base matrices via
+``multiprocessing.shared_memory`` and pipeline fits behind
+:meth:`EvaluationService.iter_scores_async`).
+:class:`FeatureMatrixArena` turns per-candidate matrix construction
+into an O(n) buffer write.  The un-cached primitive
 (:class:`repro.core.evaluation.DownstreamEvaluator`) stays the unit of
-accounting: its counters always mean *real* downstream fits.
+accounting: its counters always mean *real* downstream fits, and
+``EvalStats.n_backend_fallbacks`` records every time a parallel
+backend degraded to serial scoring.
 
 Score stores are pluggable: ``EvaluationCache`` is now an alias for
 :class:`repro.store.MemoryBackend`, and :func:`repro.store.
@@ -16,9 +23,16 @@ store path is configured (``EngineConfig.eval_store_path`` /
 """
 
 from .arena import FeatureMatrixArena
+from .executor import PoolExecutor, TaskFailed, TaskLost
 from .fingerprint import ColumnFingerprinter, content_digest
 from .folds import FoldCache
-from .service import BACKENDS, EvalStats, EvaluationCache, EvaluationService
+from .service import (
+    BACKENDS,
+    EvalStats,
+    EvaluationCache,
+    EvaluationService,
+    ScoreFuture,
+)
 
 __all__ = [
     "BACKENDS",
@@ -28,5 +42,9 @@ __all__ = [
     "EvaluationService",
     "FeatureMatrixArena",
     "FoldCache",
+    "PoolExecutor",
+    "ScoreFuture",
+    "TaskFailed",
+    "TaskLost",
     "content_digest",
 ]

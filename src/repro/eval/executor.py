@@ -1,0 +1,431 @@
+"""Persistent shared-memory worker pool for candidate scoring.
+
+The ``process`` backend pays process startup and base-matrix pickling
+on *every* ``score_batch`` call.  :class:`PoolExecutor` pays them once:
+workers are forked when the executor is built, construct their
+:class:`~repro.core.evaluation.DownstreamEvaluator` once, and receive
+base matrices through :mod:`multiprocessing.shared_memory` segments
+published once per base-matrix token (:mod:`repro.eval.shm`) — so a
+trial submission ships only the candidate column and a sequence
+number, and scoring overlaps with whatever the parent does next.
+
+Contract
+--------
+* :meth:`submit` enqueues one candidate and returns a sequence number.
+* :meth:`result` blocks for that sequence number (out-of-order worker
+  completions are buffered), folding nothing into any counter — the
+  caller owns accounting.
+* Workers rebuild folds via :func:`~repro.ml.model_selection.plan_folds`
+  from the shared target, and score through a worker-local
+  :class:`~repro.eval.arena.FeatureMatrixArena`, so scores are
+  bit-identical to the serial backend.
+* A dead worker never hangs the parent: :meth:`result` polls worker
+  liveness, and on a crash the pool **recovers** — it respawns the
+  workers and raises :class:`TaskLost` for every submission that was
+  in flight, letting the caller re-score those serially.
+* :meth:`close` tears down workers and unlinks every shared-memory
+  segment; a :mod:`weakref` finalizer in the segment store backstops
+  abandoned executors.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+import weakref
+
+import numpy as np
+
+from .shm import SegmentStore, attach_array
+
+__all__ = [
+    "PoolExecutor",
+    "TaskFailed",
+    "TaskLost",
+    "resolve_pool_workers",
+]
+
+#: Environment override for the pool size (config beats env beats CPU count).
+EVAL_WORKERS_ENV = "REPRO_EVAL_WORKERS"
+
+#: Seconds between liveness checks while waiting on a result.
+_POLL_INTERVAL = 0.05
+
+#: Seconds a worker gets to exit after its sentinel before termination.
+_JOIN_TIMEOUT = 2.0
+
+
+class TaskLost(RuntimeError):
+    """The submission was in flight when the pool lost a worker."""
+
+
+class TaskFailed(RuntimeError):
+    """The worker raised while scoring this submission."""
+
+
+def env_eval_workers() -> int | None:
+    """Worker count requested via ``REPRO_EVAL_WORKERS``, if any."""
+    env = os.environ.get(EVAL_WORKERS_ENV)
+    if not env:
+        return None
+    try:
+        workers = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{EVAL_WORKERS_ENV} must be a positive integer, got {env!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"{EVAL_WORKERS_ENV} must be a positive integer, got {env!r}"
+        )
+    return workers
+
+
+def resolve_pool_workers(explicit: int | None) -> int:
+    """Pool size: explicit config, else ``REPRO_EVAL_WORKERS``, else all CPUs.
+
+    Unlike the ``process`` backend's historical ``min(4, cpu_count)``
+    cap, a persistent pool amortizes startup, so it defaults to every
+    core.
+    """
+    if explicit is not None and explicit > 0:
+        return explicit
+    from_env = env_eval_workers()
+    if from_env is not None:
+        return from_env
+    return os.cpu_count() or 1
+
+
+def _worker_main(task_queue, result_queue, evaluator_params: dict) -> None:
+    """Long-lived worker loop: attach, copy once per token, score.
+
+    The evaluator, the trial arena, and the per-target fold plans are
+    all built once and reused across tasks; a shared-memory segment is
+    attached only when the base (or target) token changes, copied into
+    worker-local storage, and closed immediately — the parent stays
+    the sole owner of segment lifetime.
+    """
+    from ..core.evaluation import DownstreamEvaluator
+    from ..ml.model_selection import plan_folds
+    from .arena import FeatureMatrixArena
+
+    evaluator = DownstreamEvaluator(**evaluator_params)
+    stratified = evaluator.task == "C"
+    targets: dict[str, tuple[np.ndarray, tuple]] = {}
+    arena: FeatureMatrixArena | None = None
+    arena_token: str | None = None
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        (
+            seq,
+            base_token,
+            base_name,
+            base_shape,
+            y_token,
+            y_name,
+            y_shape,
+            column_bytes,
+        ) = task
+        try:
+            if y_token not in targets:
+                view, segment = attach_array(y_name, y_shape)
+                y = np.array(view)  # own copy: segment closes right away
+                segment.close()
+                folds = plan_folds(
+                    y,
+                    n_splits=evaluator.n_splits,
+                    seed=evaluator.seed,
+                    stratified=stratified,
+                )
+                if len(targets) >= 8:  # bounded: one target per run in practice
+                    targets.pop(next(iter(targets)))
+                targets[y_token] = (y, folds)
+            y, folds = targets[y_token]
+            if arena is None or arena.n_samples != base_shape[0]:
+                arena = FeatureMatrixArena(base_shape[0], base_shape[1] + 1)
+                arena_token = None
+            if arena_token != base_token:
+                view, segment = attach_array(base_name, base_shape)
+                arena.reset(view)  # copies into the worker-local buffer
+                segment.close()
+                arena_token = base_token
+            column = np.frombuffer(column_bytes, dtype=np.float64)
+            before = evaluator.total_eval_time
+            score = evaluator.evaluate(arena.trial_view(column), y, folds=folds)
+            result_queue.put(
+                (seq, score, evaluator.total_eval_time - before, None)
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to the parent
+            result_queue.put((seq, None, 0.0, repr(error)))
+
+
+class PoolExecutor:
+    """Persistent pool of scoring workers over shared-memory bases.
+
+    Parameters
+    ----------
+    evaluator_params:
+        :meth:`DownstreamEvaluator.params` of the service's evaluator;
+        each worker rebuilds an equivalent evaluator once.
+    n_workers:
+        Pool size; ``None`` resolves via :func:`resolve_pool_workers`.
+    """
+
+    def __init__(
+        self,
+        evaluator_params: dict,
+        n_workers: int | None = None,
+        max_segments: int = 8,
+    ) -> None:
+        import multiprocessing
+
+        self.params = dict(evaluator_params)
+        self.n_workers = resolve_pool_workers(n_workers)
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._context = multiprocessing.get_context("spawn")
+        self._store = SegmentStore(max_segments=max_segments)
+        self._seq = 0
+        self._pending: dict[int, tuple[str, str]] = {}
+        self._resolved: dict[int, tuple[float | None, float, str | None]] = {}
+        self._lost: set[int] = set()
+        self.n_recoveries = 0
+        self._closed = False
+        # Every worker generation ever spawned, for the finalizer:
+        # _workers itself is rebound on recovery, so the finalizer
+        # holds this stable list instead.
+        self._all_workers: list = []
+        self._spawn()
+        # An abandoned executor (caller raised without close()) must
+        # not leak: terminate whatever workers are still alive and
+        # unlink every shared-memory segment at GC / interpreter exit.
+        self._finalizer = weakref.finalize(
+            self, PoolExecutor._finalize, self._store, self._all_workers
+        )
+
+    @staticmethod
+    def _finalize(store: SegmentStore, workers: list) -> None:
+        for worker in workers:
+            if worker.exitcode is None:
+                worker.terminate()
+        store.close()
+
+    # -- pool lifecycle -----------------------------------------------------
+    def _spawn(self) -> None:
+        try:
+            # Start the POSIX resource tracker *before* forking so the
+            # workers inherit it: their shared-memory attach
+            # registrations then dedupe against the parent's in one
+            # tracker, and the parent's unlink is the single cleanup
+            # event.  Without this, each worker lazily starts its own
+            # tracker, which re-unlinks (and warns about) segments the
+            # parent already cleaned up.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError):  # pragma: no cover - win32
+            pass
+        self._task_queue = self._context.Queue()
+        self._result_queue = self._context.Queue()
+        self._workers = [
+            self._context.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue, self.params),
+                daemon=True,
+            )
+            for _ in range(self.n_workers)
+        ]
+        self._all_workers.extend(self._workers)
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker generation (tests kill these)."""
+        return [worker.pid for worker in self._workers]
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    def _any_worker_dead(self) -> bool:
+        return any(worker.exitcode is not None for worker in self._workers)
+
+    def _recover(self) -> None:
+        """Respawn after a worker death; in-flight submissions are lost.
+
+        Everything already sitting in the result queue is kept; the
+        rest of the pending set is marked lost so callers re-score
+        those candidates serially instead of hanging forever.
+        """
+        self.n_recoveries += 1
+        for worker in self._workers:
+            worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=_JOIN_TIMEOUT)
+        self._drain_queue_nowait()
+        for seq, tokens in self._pending.items():
+            self._store.release(tokens[0])
+            self._store.release(tokens[1])
+            self._lost.add(seq)
+        self._pending.clear()
+        # Fresh queues: tasks still sitting in the old one belong to
+        # lost sequence numbers and must not reach the new workers.
+        for old in (self._task_queue, self._result_queue):
+            old.close()
+            old.cancel_join_thread()
+        self._spawn()
+
+    # -- submission / collection --------------------------------------------
+    def submit(
+        self,
+        base_token: str,
+        base: np.ndarray,
+        y_token: str,
+        y: np.ndarray,
+        column: np.ndarray,
+    ) -> int:
+        """Enqueue one candidate; returns its sequence number.
+
+        ``base`` and ``y`` are only serialized on the first submission
+        carrying their token — later submissions ship the column alone.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        self.poll()
+        # Acquire each token immediately after its publish: a publish
+        # may evict *idle* segments, and until acquired the segment
+        # published one line earlier would itself be idle.
+        base_name, base_shape = self._store.publish(base_token, base)
+        self._store.acquire(base_token)
+        y_name, y_shape = self._store.publish(y_token, y)
+        self._store.acquire(y_token)
+        self._seq += 1
+        seq = self._seq
+        self._pending[seq] = (base_token, y_token)
+        column_bytes = (
+            np.ascontiguousarray(column, dtype=np.float64).tobytes()
+        )
+        self._task_queue.put(
+            (
+                seq,
+                base_token,
+                base_name,
+                base_shape,
+                y_token,
+                y_name,
+                y_shape,
+                column_bytes,
+            )
+        )
+        return seq
+
+    def _record(self, item) -> None:
+        seq, score, seconds, error = item
+        tokens = self._pending.pop(seq, None)
+        if tokens is not None:
+            self._store.release(tokens[0])
+            self._store.release(tokens[1])
+        self._resolved[seq] = (score, seconds, error)
+
+    def _drain_queue_nowait(self) -> None:
+        while True:
+            try:
+                item = self._result_queue.get_nowait()
+            except (queue_module.Empty, OSError):
+                return
+            self._record(item)
+
+    def poll(self) -> None:
+        """Absorb finished results without blocking."""
+        self._drain_queue_nowait()
+
+    def result(self, seq: int) -> tuple[float, float]:
+        """Block until submission ``seq`` finishes; ``(score, seconds)``.
+
+        Raises :class:`TaskLost` when the submission died with a
+        worker (or was already consumed/forgotten — an unknown
+        sequence number can never arrive, so waiting would deadlock),
+        :class:`TaskFailed` when the worker raised while scoring it.
+        Either way the pool itself stays usable.
+        """
+        while True:
+            if seq in self._resolved:
+                score, seconds, error = self._resolved.pop(seq)
+                if error is not None:
+                    raise TaskFailed(error)
+                return score, seconds
+            if seq in self._lost:
+                self._lost.discard(seq)
+                raise TaskLost(f"submission {seq} lost to a worker crash")
+            if seq not in self._pending:
+                # Never submitted, already collected, or forgotten —
+                # no result will ever arrive for it.
+                raise TaskLost(f"submission {seq} is unknown to this pool")
+            try:
+                item = self._result_queue.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                if self._any_worker_dead():
+                    self._recover()
+                continue
+            self._record(item)
+
+    def is_resolved(self, seq: int) -> bool:
+        """Whether :meth:`result` for ``seq`` would return immediately."""
+        self.poll()
+        return seq in self._resolved or seq in self._lost
+
+    def try_result(self, seq: int) -> tuple[float, float] | None:
+        """Non-blocking :meth:`result`; ``None`` while still running."""
+        self.poll()
+        if seq in self._resolved:
+            return self.result(seq)
+        if seq in self._lost:
+            self.result(seq)  # raises TaskLost
+        return None
+
+    def forget(self, seq: int) -> None:
+        """Drop a resolved/lost submission nobody will ever collect."""
+        self._resolved.pop(seq, None)
+        self._lost.discard(seq)
+
+    # -- teardown -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and unlink every shared-memory segment.
+
+        Pending submissions are abandoned (their workers are told to
+        exit after the current task; stragglers are terminated) — the
+        caller drains anything it still cares about first.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._task_queue.put_nowait(None)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                break
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for worker in self._workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in self._workers:
+            if worker.exitcode is None:
+                worker.terminate()
+                worker.join(timeout=_JOIN_TIMEOUT)
+        self._drain_queue_nowait()
+        for q in (self._task_queue, self._result_queue):
+            q.close()
+            q.cancel_join_thread()
+        self._pending.clear()
+        self._store.close()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,13 +18,24 @@ changing a single score:
   :class:`~repro.eval.folds.FoldCache` and passed into every fit.
 * **batching** — :meth:`score_batch` scores a sweep's surviving
   candidates together against one frozen base matrix, through a
-  pluggable backend: ``serial`` (arena-backed, zero-copy trials) or
-  ``process`` (a ``multiprocessing`` pool of workers).  Backends are
-  bit-equal because every evaluation is independently seeded.
+  pluggable backend: ``serial`` (arena-backed, zero-copy trials),
+  ``process`` (a fresh ``multiprocessing`` pool per batch), or
+  ``pool`` (a persistent :class:`~repro.eval.executor.PoolExecutor`
+  whose workers receive the base matrix through shared memory).
+  Backends are bit-equal because every evaluation is independently
+  seeded.
+* **pipelining** — :meth:`submit_batch` returns
+  :class:`ScoreFuture` handles and :meth:`iter_scores_async` consumes
+  them in submission order; with the ``pool`` backend the CV fits run
+  in the workers while the caller keeps generating and filtering
+  candidates, and fresh scores are written through to the cache store
+  in batches rather than one put per candidate.
 
 ``DownstreamEvaluator`` counters keep meaning *real downstream fits*:
 cache hits never touch them, and the service tracks hits/misses
-separately so results can report both.
+separately so results can report both.  A service whose backend owns
+OS resources (the ``pool`` executor) must be :meth:`close`\\ d — the
+engine does this at the end of every ``fit()``.
 """
 
 from __future__ import annotations
@@ -44,10 +55,20 @@ from .folds import FoldCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> eval)
     from ..core.evaluation import DownstreamEvaluator
+    from .executor import PoolExecutor
 
-__all__ = ["EvalStats", "EvaluationCache", "EvaluationService", "BACKENDS"]
+__all__ = [
+    "EvalStats",
+    "EvaluationCache",
+    "EvaluationService",
+    "ScoreFuture",
+    "BACKENDS",
+]
 
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "pool")
+
+#: Buffered fresh scores are flushed to the cache store at this size.
+_WRITE_BATCH = 64
 
 
 @dataclass
@@ -65,6 +86,12 @@ class EvalStats:
     n_misses: int = 0
     n_batches: int = 0
     n_near_duplicates: int = 0
+    #: Times candidate scoring fell back to the serial path because a
+    #: parallel backend failed (pool creation denied, worker crash,
+    #: worker-side scoring error).  Non-zero means the run was correct
+    #: but slower than configured — previously this degradation was
+    #: silent.
+    n_backend_fallbacks: int = 0
 
     @property
     def n_lookups(self) -> int:
@@ -79,6 +106,105 @@ class EvalStats:
 #: Back-compat name: the PR-1 in-process score store now lives in
 #: :mod:`repro.store.backends` as the default cache backend.
 EvaluationCache = MemoryBackend
+
+
+class ScoreFuture:
+    """One candidate's eventual downstream score.
+
+    Produced by :meth:`EvaluationService.submit_batch`.  How the score
+    materializes depends on the service backend:
+
+    * cache hit / ``process`` backend — already resolved at submission
+      (``process`` prefetches the whole batch speculatively, exactly
+      like :meth:`EvaluationService.iter_scores` always has);
+    * ``serial`` — fully lazy: the CV fit runs inside :meth:`result`,
+      so abandoned futures cost nothing;
+    * ``pool`` — in flight on a persistent worker; :meth:`result`
+      blocks for the completion (buffering out-of-order arrivals) and
+      falls back to a parent-side serial fit if the submission died
+      with a worker.
+
+    Futures hold references to the caller's base matrix until
+    resolved; callers that mutate the base between submission and
+    consumption (the engine never does — it consumes before accepting)
+    must copy it first.
+    """
+
+    __slots__ = (
+        "_service", "_state", "_value", "_seq", "_key",
+        "_base", "_token", "_column", "_y", "_target_token",
+    )
+
+    _RESOLVED = "resolved"
+    _LAZY = "lazy"
+    _POOL = "pool"
+    _ALIAS = "alias"
+
+    def __init__(self, service, state: str) -> None:
+        self._service = service
+        self._state = state
+        self._value = None
+
+    @classmethod
+    def resolved(cls, score: float) -> "ScoreFuture":
+        future = cls(None, cls._RESOLVED)
+        future._value = float(score)
+        return future
+
+    @classmethod
+    def _make_lazy(
+        cls, service, base, token, column, y, target_token
+    ) -> "ScoreFuture":
+        future = cls(service, cls._LAZY)
+        future._base = base
+        future._token = token
+        future._column = column
+        future._y = y
+        future._target_token = target_token
+        return future
+
+    @classmethod
+    def _make_pool(
+        cls, service, seq, key, base, token, column, y
+    ) -> "ScoreFuture":
+        future = cls(service, cls._POOL)
+        future._seq = seq
+        future._key = key
+        future._base = base
+        future._token = token
+        future._column = column
+        future._y = y
+        return future
+
+    @classmethod
+    def _make_alias(cls, primary: "ScoreFuture") -> "ScoreFuture":
+        future = cls(None, cls._ALIAS)
+        future._value = primary
+        return future
+
+    def done(self) -> bool:
+        """Whether :meth:`result` will return without blocking or fitting."""
+        if self._state == self._RESOLVED:
+            return True
+        if self._state == self._ALIAS:
+            return self._value.done()
+        if self._state == self._POOL:
+            return self._service._pool_future_done(self)
+        return False  # lazy: the fit happens at result()
+
+    def result(self) -> float:
+        """The score (blocking / computing as the backend requires)."""
+        if self._state == self._RESOLVED:
+            return self._value
+        if self._state == self._ALIAS:
+            return self._value.result()
+        if self._state == self._POOL:
+            value = self._service._collect_pool_future(self)
+        else:
+            value = self._service._resolve_lazy_future(self)
+        self._value = float(value)
+        self._state = self._RESOLVED
+        return self._value
 
 
 def _score_chunk(payload) -> list[tuple[float, float]]:
@@ -116,12 +242,15 @@ class EvaluationService:
         :func:`repro.store.make_eval_backend`).  ``None`` disables
         memoization entirely (every lookup is a miss).
     backend:
-        ``"serial"`` or ``"process"`` — how :meth:`score_batch` scores
-        cache misses.
+        ``"serial"``, ``"process"``, or ``"pool"`` — how
+        :meth:`score_batch` / :meth:`submit_batch` score cache misses.
     n_workers:
-        Pool size for the process backend (default: CPU count, capped
-        at 4 — downstream fits at bench scale are milliseconds, so a
-        small pool already saturates the win).
+        Worker count for the parallel backends.  Defaults differ:
+        ``process`` keeps its historical ``min(4, cpu_count)`` cap
+        (its per-batch startup cost grows with pool size), while the
+        persistent ``pool`` backend amortizes startup and defaults to
+        every core.  The ``REPRO_EVAL_WORKERS`` environment variable
+        overrides either default; this parameter overrides both.
     """
 
     def __init__(
@@ -152,6 +281,19 @@ class EvaluationService:
         # bucket -> first content digest seen, bounded LRU (see
         # _note_near_duplicate).
         self._digest_of_bucket: OrderedDict[str, str] = OrderedDict()
+        # Persistent pool backend state: the executor is built lazily
+        # on first use; _inflight maps its sequence numbers to cache
+        # keys so speculative results abandoned mid-batch still land
+        # in the cache; _write_buffer batches fresh pipelined scores
+        # into one store write.
+        self._executor: "PoolExecutor" | None = None
+        self._inflight: dict[int, str] = {}
+        self._write_buffer: list[tuple[str, float]] = []
+        # Scores _drain_speculative consumed for futures the caller
+        # may still hold: resolving such a future must return the
+        # drained value (already counted and cached), never re-wait on
+        # the executor.
+        self._drained: dict[int, float] = {}
 
     @classmethod
     def from_config(
@@ -241,6 +383,136 @@ class EvaluationService:
             for key, score in items:
                 self.cache.put(key, score)
 
+    # -- pool backend plumbing ----------------------------------------------
+    def _ensure_executor(self) -> "PoolExecutor":
+        """Build the persistent worker pool on first use."""
+        if self._executor is None:
+            from .executor import PoolExecutor
+
+            self._executor = PoolExecutor(
+                self.evaluator.params(), n_workers=self.n_workers
+            )
+        return self._executor
+
+    def _buffer_write(self, key: str, score: float) -> None:
+        """Queue a fresh score for the next batched store write."""
+        self._write_buffer.append((key, score))
+        if len(self._write_buffer) >= _WRITE_BATCH:
+            self._flush_writes()
+
+    def _flush_writes(self) -> None:
+        """Write buffered fresh scores through in one backend call."""
+        if self._write_buffer:
+            self._store_many(self._write_buffer)
+            self._write_buffer = []
+
+    def _drain_speculative(self, block: bool = False) -> None:
+        """Absorb completed pool submissions nobody is waiting on.
+
+        When a consumer abandons an :meth:`iter_scores_async` batch
+        mid-stream (the engine does, whenever an acceptance changes
+        the base matrix), its in-flight submissions keep running in
+        the workers.  Their results are still real fits — this folds
+        them into the evaluator's counters and the cache so the money
+        already spent is not thrown away, mirroring the ``process``
+        backend's speculative-prefetch accounting.
+        """
+        if self._executor is None or not self._inflight:
+            return
+        from .executor import TaskFailed, TaskLost
+
+        for seq, key in list(self._inflight.items()):
+            try:
+                if block:
+                    outcome = self._executor.result(seq)
+                else:
+                    outcome = self._executor.try_result(seq)
+            except (TaskLost, TaskFailed):
+                # Abandoned *and* dead: nobody needs the score, so no
+                # serial fallback is owed — just drop it.
+                self._inflight.pop(seq, None)
+                continue
+            if outcome is None:
+                continue
+            score, seconds = outcome
+            self._inflight.pop(seq, None)
+            self._drained[seq] = score
+            while len(self._drained) > 4096:  # bound for abandoned futures
+                self._drained.pop(next(iter(self._drained)))
+            self.evaluator.n_evaluations += 1
+            self.evaluator.total_eval_time += seconds
+            self._buffer_write(key, score)
+
+    def _pool_future_done(self, future: "ScoreFuture") -> bool:
+        if future._seq in self._drained:
+            return True
+        if self._executor is None:
+            return False
+        return self._executor.is_resolved(future._seq)
+
+    def _collect_pool_future(self, future: "ScoreFuture") -> float:
+        """Resolve one in-flight pool submission (with serial fallback)."""
+        from .executor import TaskFailed, TaskLost
+
+        drained = self._drained.pop(future._seq, None)
+        if drained is not None:
+            # A drain pass (later batch, or close()) already consumed
+            # the completion — counted and cached then.
+            return drained
+        executor = self._executor
+        try:
+            if executor is None:
+                # The service was closed with this future unresolved
+                # (it was lost mid-drain); score it here instead.
+                raise TaskLost(f"service closed; submission {future._seq}")
+            score, seconds = executor.result(future._seq)
+        except (TaskLost, TaskFailed):
+            self.stats.n_backend_fallbacks += 1
+            self._inflight.pop(future._seq, None)
+            score = self._score_missing_serial(
+                future._base, future._token, [future._column], [0], future._y
+            )[0]
+        else:
+            self._inflight.pop(future._seq, None)
+            self.evaluator.n_evaluations += 1
+            self.evaluator.total_eval_time += seconds
+        self._buffer_write(future._key, score)
+        return score
+
+    def _resolve_lazy_future(self, future: "ScoreFuture") -> float:
+        """Serial-backend future: the per-candidate ``iter_scores`` body."""
+        key = self._candidate_key(
+            future._token, future._column, future._target_token
+        )
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        self._note_near_duplicate(future._column)
+        score = self._score_missing_serial(
+            future._base, future._token, [future._column], [0], future._y
+        )[0]
+        self._store(key, score)
+        return score
+
+    def close(self) -> None:
+        """Flush buffered writes and release backend resources.
+
+        Blocks for still-running speculative pool submissions first so
+        their fits land in the counters and the cache; safe to call on
+        any backend and more than once.
+        """
+        if self._executor is not None:
+            self._drain_speculative(block=True)
+            self._executor.close()
+            self._executor = None
+        self._flush_writes()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     #: Bound on the near-duplicate bucket map (LRU-evicted).
     _NEAR_DUPLICATE_CAPACITY = 8192
 
@@ -305,6 +577,12 @@ class EvaluationService:
         """
         if not columns:
             return []
+        if self.backend == "pool":
+            # Make scores from abandoned speculative submissions
+            # visible before the lookups below, or a key drained a
+            # moment ago would pay a duplicate fit.
+            self._drain_speculative()
+            self._flush_writes()
         self.stats.n_batches += 1
         base = np.asarray(base, dtype=np.float64)
         token = base_token if base_token is not None else self.token(base)
@@ -330,7 +608,11 @@ class EvaluationService:
             else:
                 scores[index] = cached
         if missing:
-            if self.backend == "process" and len(missing) > 1:
+            if self.backend == "pool":
+                fresh = self._score_missing_pool(
+                    base, token, columns, missing, y, target_token
+                )
+            elif self.backend == "process" and len(missing) > 1:
                 fresh = self._score_missing_process(base, columns, missing, y)
             else:
                 fresh = self._score_missing_serial(
@@ -356,15 +638,16 @@ class EvaluationService:
         The consumer may stop early (e.g. after accepting a candidate
         the base matrix changes) and re-issue the remainder against the
         new base.  With the ``serial`` backend scoring is fully lazy —
-        abandoned candidates cost nothing.  With the ``process`` backend
-        the whole batch is prefetched speculatively for parallelism, so
-        abandoned candidates may still have paid a real (cached-for-
-        later) fit — that is the price of the parallel backend, not a
-        correctness difference.
+        abandoned candidates cost nothing.  With the ``process`` and
+        ``pool`` backends the whole batch is prefetched speculatively
+        for parallelism, so abandoned candidates may still have paid a
+        real (cached-for-later) fit — that is the price of the
+        parallel backends, not a correctness difference.  (For the
+        pipelined variant, see :meth:`iter_scores_async`.)
         """
         if not columns:
             return
-        if self.backend == "process":
+        if self.backend in ("process", "pool"):
             yield from self.score_batch(base, columns, y, base_token=base_token)
             return
         self.stats.n_batches += 1
@@ -381,6 +664,104 @@ class EvaluationService:
             score = self._score_missing_serial(base, token, [column], [0], y)
             self._store(key, score[0])
             yield score[0]
+
+    def submit_batch(
+        self,
+        base: np.ndarray,
+        columns: list[np.ndarray],
+        y: np.ndarray,
+        base_token: str | None = None,
+    ) -> list[ScoreFuture]:
+        """Submit candidates for scoring; returns one future per column.
+
+        This is the pipelined counterpart of :meth:`score_batch`: with
+        the ``pool`` backend every cache miss is dispatched to the
+        persistent workers immediately, so the CV fits overlap with
+        whatever the caller does between submission and
+        :meth:`ScoreFuture.result` — generating more candidates,
+        filtering, credit assignment.  The ``serial`` backend returns
+        fully lazy futures (abandoned candidates cost nothing, exactly
+        like :meth:`iter_scores`); the ``process`` backend prefetches
+        the whole batch speculatively, as it always has.
+
+        Consume futures in submission order for trajectories that are
+        bit-identical to the serial backend.
+        """
+        if not columns:
+            return []
+        if self.backend == "process":
+            # score_batch owns stats/batch accounting on this path.
+            scores = self.score_batch(base, columns, y, base_token=base_token)
+            return [ScoreFuture.resolved(score) for score in scores]
+        self.stats.n_batches += 1
+        base = np.asarray(base, dtype=np.float64)
+        token = base_token if base_token is not None else self.token(base)
+        target_token = self._target_token(y)
+        if self.backend == "serial":
+            return [
+                ScoreFuture._make_lazy(
+                    self, base, token, column, y, target_token
+                )
+                for column in columns
+            ]
+        executor = self._ensure_executor()
+        self._drain_speculative()
+        self._flush_writes()
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        futures: list[ScoreFuture] = []
+        first_of_key: dict[str, ScoreFuture] = {}
+        for column in columns:
+            key = self._candidate_key(token, column, target_token)
+            primary = first_of_key.get(key)
+            if primary is not None:
+                # In-batch duplicate: one submission, later ones are hits.
+                self.stats.n_hits += 1
+                futures.append(ScoreFuture._make_alias(primary))
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                future = ScoreFuture.resolved(cached)
+            else:
+                self._note_near_duplicate(column)
+                seq = executor.submit(token, base, target_token, y, column)
+                self._inflight[seq] = key
+                future = ScoreFuture._make_pool(
+                    self, seq, key, base, token, column, y
+                )
+            first_of_key[key] = future
+            futures.append(future)
+        return futures
+
+    def iter_scores_async(
+        self,
+        base: np.ndarray,
+        columns: list[np.ndarray],
+        y: np.ndarray,
+        base_token: str | None = None,
+    ):
+        """Pipelined :meth:`iter_scores`: submit everything, stream in order.
+
+        For the ``serial`` and ``process`` backends this is exactly
+        :meth:`iter_scores` (bit-identical scores, counters, and
+        laziness).  For the ``pool`` backend, misses are in flight on
+        the persistent workers while earlier scores are consumed;
+        abandoning the iterator early (the engine does, after an
+        acceptance) leaves the stragglers running — their results are
+        folded into the counters and cache at the next submission or
+        :meth:`close`, mirroring the ``process`` backend's
+        speculative-prefetch semantics.  Fresh scores are written to
+        the cache store in batches (one ``put_many`` per flush) rather
+        than one put per candidate.
+        """
+        if self.backend != "pool":
+            yield from self.iter_scores(base, columns, y, base_token=base_token)
+            return
+        futures = self.submit_batch(base, columns, y, base_token=base_token)
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            self._flush_writes()
 
     def _score_missing_serial(
         self,
@@ -405,6 +786,46 @@ class EvaluationService:
             for index in missing
         ]
 
+    def _score_missing_pool(
+        self,
+        base: np.ndarray,
+        token: str,
+        columns: list[np.ndarray],
+        missing: list[int],
+        y: np.ndarray,
+        target_token: str,
+    ) -> list[float]:
+        """Score cache misses on the persistent shared-memory pool.
+
+        The base matrix is published once per token; each submission
+        ships only its candidate column.  A submission that dies with
+        a worker (or errors worker-side) is re-scored serially in the
+        parent and counted in ``stats.n_backend_fallbacks`` — the
+        batch always completes.
+        """
+        from .executor import TaskFailed, TaskLost
+
+        executor = self._ensure_executor()
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        seqs = [
+            executor.submit(token, base, target_token, y, columns[index])
+            for index in missing
+        ]
+        scores: list[float] = []
+        for seq, index in zip(seqs, missing):
+            try:
+                score, seconds = executor.result(seq)
+            except (TaskLost, TaskFailed):
+                self.stats.n_backend_fallbacks += 1
+                score = self._score_missing_serial(
+                    base, token, columns, [index], y
+                )[0]
+            else:
+                self.evaluator.n_evaluations += 1
+                self.evaluator.total_eval_time += seconds
+            scores.append(score)
+        return scores
+
     def _score_missing_process(
         self,
         base: np.ndarray,
@@ -418,7 +839,13 @@ class EvaluationService:
         bit-identical to the serial backend; the parent folds the real
         fit counts and times back into its own evaluator's counters.
         """
-        n_workers = self.n_workers or min(4, os.cpu_count() or 1)
+        from .executor import env_eval_workers
+
+        n_workers = (
+            self.n_workers
+            or env_eval_workers()
+            or min(4, os.cpu_count() or 1)
+        )
         n_workers = max(1, min(n_workers, len(missing)))
         if n_workers == 1:
             token = self.token(base)
@@ -439,6 +866,7 @@ class EvaluationService:
             with context.Pool(processes=len(payloads)) as pool:
                 chunk_results = pool.map(_score_chunk, payloads)
         except OSError:  # pragma: no cover - pool creation denied
+            self.stats.n_backend_fallbacks += 1
             token = self.token(base)
             return self._score_missing_serial(base, token, columns, missing, y)
         scores: list[float] = []

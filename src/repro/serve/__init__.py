@@ -15,7 +15,8 @@ this package turns plans into *served* artifacts:
   as one fit/predict/save/load deployable;
 * ``python -m repro.serve`` — a stdlib-only threaded JSON HTTP
   endpoint (``/plans``, ``/transform``, ``/predict``, ``/healthz``,
-  ``/stats``) over a :class:`TransformService`.
+  ``/stats``, Prometheus-format ``/metrics``) over a
+  :class:`TransformService`.
 
 The extended dataflow::
 

@@ -13,6 +13,11 @@ Endpoints
     Every serveable reference with fingerprint and width.
 ``GET /stats``
     Per-plan serving counters (requests, rows, compiles, latency).
+``GET /metrics`` (alias: ``GET /stats?format=prometheus``)
+    The same counters in Prometheus text exposition format, one
+    ``repro_serve_*`` series per plan — point a scraper here and
+    serving performance is tracked alongside the evaluation-layer
+    counters the bench emits.
 ``POST /transform``
     ``{"rows": <row|rows>, "plan": <ref?>}`` →
     ``{"plan": ref, "columns": [...], "rows": [[...]]}``.  Rows are
@@ -38,6 +43,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from .pipeline import FeaturePipeline
 from .registry import PlanIntegrityError, PlanNotFound
@@ -46,6 +52,22 @@ from .service import TransformService
 __all__ = ["ServeApp", "PlanHTTPServer", "make_server"]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_JSON_TYPE = "application/json"
+#: Prometheus text exposition format, as scrapers expect it.
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _prometheus_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prometheus_float(value: float) -> str:
+    """Exact-round-trip rendering, consistent with the JSON endpoints."""
+    return repr(float(value))
 
 
 class ServeApp:
@@ -72,6 +94,65 @@ class ServeApp:
         self.pipeline = pipeline
 
     # -- dispatch ----------------------------------------------------------
+    def handle_raw(
+        self, method: str, raw_path: str, body: dict | None
+    ) -> tuple[int, bytes, str]:
+        """Route one request with query parsing and content negotiation.
+
+        Returns ``(status, payload bytes, content type)``.  The
+        Prometheus surface (``/metrics``, ``/stats?format=prometheus``)
+        answers in text exposition format; everything else delegates
+        to :meth:`handle` and serializes JSON.
+        """
+        parts = urlsplit(raw_path)
+        path = parts.path
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics_text().encode("utf-8"), _PROMETHEUS_TYPE
+        if method == "GET" and path == "/stats":
+            wanted = parse_qs(parts.query).get("format", [""])[-1].lower()
+            if wanted == "prometheus":
+                return (
+                    200,
+                    self.metrics_text().encode("utf-8"),
+                    _PROMETHEUS_TYPE,
+                )
+            if wanted not in ("", "json"):
+                document = {"error": f"unknown stats format {wanted!r}"}
+                return 400, json.dumps(document).encode("utf-8"), _JSON_TYPE
+        status, document = self.handle(method, path, body)
+        return status, json.dumps(document).encode("utf-8"), _JSON_TYPE
+
+    def metrics_text(self) -> str:
+        """Serving counters in Prometheus text exposition format."""
+        lines = [
+            "# HELP repro_serve_plans Number of serveable plans.",
+            "# TYPE repro_serve_plans gauge",
+            f"repro_serve_plans {self.service.n_plans()}",
+        ]
+        series = (
+            ("requests_total", "counter", "Transform requests served.",
+             lambda s: str(s.n_requests)),
+            ("rows_total", "counter", "Rows transformed.",
+             lambda s: str(s.n_rows)),
+            ("compiles_total", "counter", "Plan compilations performed.",
+             lambda s: str(s.n_compiles)),
+            ("cache_hits_total", "counter",
+             "Requests served from the compiled-plan cache.",
+             lambda s: str(s.n_cache_hits)),
+            ("seconds_total", "counter",
+             "Seconds spent inside plan transforms.",
+             lambda s: _prometheus_float(s.total_seconds)),
+        )
+        stats = self.service.stats()
+        for suffix, kind, help_text, render in series:
+            name = f"repro_serve_{suffix}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for ref in sorted(stats):
+                label = _prometheus_label(ref)
+                lines.append(f'{name}{{plan="{label}"}} {render(stats[ref])}')
+        return "\n".join(lines) + "\n"
+
     def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
         """Route one request; returns ``(status_code, json_document)``."""
         try:
@@ -161,34 +242,36 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> ServeApp:
         return self.server.app  # type: ignore[attr-defined]
 
-    def _respond(self, status: int, document: dict) -> None:
-        payload = json.dumps(document).encode("utf-8")
+    def _respond(
+        self, status: int, payload: bytes, content_type: str = _JSON_TYPE
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
 
+    def _respond_json(self, status: int, document: dict) -> None:
+        self._respond(status, json.dumps(document).encode("utf-8"))
+
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
-        status, document = self.app.handle("GET", self.path, None)
-        self._respond(status, document)
+        self._respond(*self.app.handle_raw("GET", self.path, None))
 
     def do_POST(self) -> None:  # noqa: N802
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY_BYTES:
-            self._respond(413, {"error": "request body too large"})
+            self._respond_json(413, {"error": "request body too large"})
             return
         raw = self.rfile.read(length) if length else b""
         try:
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._respond(400, {"error": f"invalid JSON body: {error}"})
+            self._respond_json(400, {"error": f"invalid JSON body: {error}"})
             return
         if not isinstance(body, dict):
-            self._respond(400, {"error": "JSON body must be an object"})
+            self._respond_json(400, {"error": "JSON body must be an object"})
             return
-        status, document = self.app.handle("POST", self.path, body)
-        self._respond(status, document)
+        self._respond(*self.app.handle_raw("POST", self.path, body))
 
     def log_message(self, format: str, *args) -> None:
         """Per-request logging, gated on the server's verbose flag."""

@@ -234,3 +234,75 @@ class TestServeApp:
         )
         assert status == 500
         assert "fingerprint mismatch" in document["error"]
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+
+
+class TestPrometheusMetrics:
+    def test_metrics_endpoint_exposes_served_counters(self, served, X):
+        base, _ = served
+        _post(f"{base}/transform", {"plan": "demo", "rows": X.tolist()})
+        _post(f"{base}/transform", {"plan": "demo", "rows": X.tolist()})
+        status, content_type, text = _get_text(f"{base}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_requests_total{plan="demo@1"} 2' in text
+        assert f'repro_serve_rows_total{{plan="demo@1"}} {2 * len(X)}' in text
+        assert 'repro_serve_compiles_total{plan="demo@1"} 1' in text
+        assert "repro_serve_plans 1" in text
+        assert text.endswith("\n")
+
+    def test_stats_format_prometheus_matches_metrics(self, served, X):
+        base, _ = served
+        _post(f"{base}/transform", {"plan": "demo", "rows": X.tolist()})
+        _, _, via_metrics = _get_text(f"{base}/metrics")
+        _, content_type, via_stats = _get_text(
+            f"{base}/stats?format=prometheus"
+        )
+        assert content_type.startswith("text/plain")
+        assert via_stats == via_metrics
+
+    def test_stats_json_still_default(self, served, X):
+        base, _ = served
+        _post(f"{base}/transform", {"plan": "demo", "rows": X.tolist()})
+        for url in (f"{base}/stats", f"{base}/stats?format=json"):
+            status, document = _get(url)
+            assert status == 200
+            assert document["plans"]["demo@1"]["n_requests"] >= 1
+
+    def test_unknown_stats_format_is_400(self, served):
+        base, _ = served
+        request = urllib.request.Request(f"{base}/stats?format=xml")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        with excinfo.value:
+            assert excinfo.value.code == 400
+
+    def test_seconds_total_round_trips_exactly(self):
+        app = ServeApp(TransformService())
+        service = app.service
+        plan = _plan()
+        ref = service.add_plan(plan, "pinned")
+        service.transform(ref, np.abs(np.random.default_rng(0).normal(size=(4, 3))) + 1.0)
+        text = app.metrics_text()
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith('repro_serve_seconds_total{plan="pinned"}')
+        )
+        reported = float(line.rsplit(" ", 1)[1])
+        assert reported == service.stats("pinned").total_seconds
+
+    def test_label_escaping(self):
+        app = ServeApp(TransformService())
+        app.service.add_plan(_plan(), 'we"ird\\name')
+        text = app.metrics_text()
+        assert 'plan="we\\"ird\\\\name"' in text
