@@ -8,12 +8,17 @@ evaluations-avoided; these micro-benchmarks measure both levers of the
   workload (the same sweep scored over several epochs, as engines do
   when candidates regenerate).
 * ``test_backend_throughput`` — dispatch cost on a *cold-cache
-  multi-sweep* workload (every candidate distinct, base matrix
-  growing sweep over sweep, as a real stage-2 run does): the
-  per-batch ``process`` backend re-pays pool startup and base-matrix
-  pickling every sweep, the persistent shared-memory ``pool`` backend
-  pays them once.  Records scored-candidates/sec per backend in
-  ``BENCH_eval.json``.
+  multi-sweep* workload (every candidate distinct, the base matrix
+  absorbing an accepted feature every few sweeps, as a real stage-2
+  run does): the per-batch ``process`` backend re-pays pool startup
+  and base-matrix pickling every sweep, the persistent shared-memory
+  ``pool`` backend pays them once, and the ``pool_speculative``
+  variant additionally pipelines each sweep's generation work and
+  submission behind the previous sweep's in-flight fits, exactly as
+  the engine's cross-agent speculation does (committing when the base
+  survives, discarding at acceptance boundaries — the waste is
+  reported through the speculation counters).  Records
+  scored-candidates/sec per backend in ``BENCH_eval.json``.
 
 Set ``REPRO_BENCH_OUT=<dir>`` to write the JSON artifacts.
 """
@@ -32,13 +37,14 @@ N_CANDIDATES = 8
 N_REPEATS = 4
 
 #: Backend-comparison workload: many small sweeps of fresh candidates
-#: (the realistic post-FPE-filter sweep size), the base matrix growing
-#: by one accepted column per sweep.
-N_SWEEPS = 16
+#: (the realistic post-FPE-filter sweep size), the base matrix
+#: absorbing one accepted feature every ``ACCEPT_EVERY`` sweeps.
+N_SWEEPS = 24
 SWEEP_CANDIDATES = 4
-#: Same explicit worker count for both parallel backends — the
+ACCEPT_EVERY = 8
+#: Same explicit worker count for every parallel backend — the
 #: comparison is purely per-batch startup vs persistent dispatch.
-N_WORKERS = 2
+N_WORKERS = 4
 
 
 def _workload():
@@ -106,12 +112,14 @@ def eval_throughput() -> dict:
 def _sweep_workload():
     """Cold-cache multi-sweep stream mimicking a stage-2 run.
 
-    Sweep ``s`` scores ``SWEEP_CANDIDATES`` distinct candidates
-    against a base matrix that already absorbed ``s`` accepted
-    features — so every sweep carries a new base-matrix token, exactly
-    the pattern that makes per-sweep serialization expensive.
+    Every sweep scores ``SWEEP_CANDIDATES`` distinct candidates; every
+    ``ACCEPT_EVERY``-th sweep "accepts" a feature, so the base-matrix
+    token changes at realistic acceptance boundaries — often enough to
+    exercise per-sweep serialization and speculation rollback, sparse
+    enough that cross-sweep speculation usually commits (engines
+    accept on a minority of sweeps).
     """
-    task = make_classification(n_samples=80, n_features=5, seed=0)
+    task = make_classification(n_samples=60, n_features=5, seed=0)
     base = np.asarray(task.X.to_array(), dtype=np.float64)
     rng = np.random.default_rng(7)
     sweeps = []
@@ -123,24 +131,42 @@ def _sweep_workload():
             for i in range(SWEEP_CANDIDATES)
         ]
         sweeps.append((base, columns))
-        base = np.column_stack([base, columns[0]])  # "accept" one feature
+        if (sweep + 1) % ACCEPT_EVERY == 0:
+            base = np.column_stack([base, columns[0]])  # accept a feature
     return task, sweeps
 
 
-def _measure_backend(backend: str, task, sweeps) -> dict:
+def _generation_work(n_samples: int) -> float:
+    """Deterministic stand-in for one sweep's generation + filtering.
+
+    The engine does real work between scoring sweeps (operand
+    sampling, operator application, FPE inference); the speculative
+    pipeline's claim is that this work hides behind in-flight fits.
+    """
+    size = max(64, n_samples)
+    matrix = np.linspace(0.0, 1.0, size * size).reshape(size, size)
+    return float(np.linalg.norm(matrix @ matrix.T))
+
+
+def _eval_service(backend: str) -> EvaluationService:
     # A cheap downstream family (Table V's NB column) keeps the fits
     # from drowning the quantity under test — dispatch overhead; the
     # bit-identity assertion below holds for every model family.
-    service = EvaluationService(
+    return EvaluationService(
         DownstreamEvaluator(task="C", model_kind="nb_gp", n_splits=3, seed=0),
         cache=EvaluationCache(),
         backend=backend,
         n_workers=N_WORKERS,
     )
+
+
+def _measure_backend(backend: str, task, sweeps) -> dict:
+    service = _eval_service(backend)
     scores = []
     started = time.perf_counter()
     with service:
         for base, columns in sweeps:
+            _generation_work(task.n_samples)  # sequential: gen, then score
             scores.append(
                 list(service.iter_scores_async(base, columns, task.y))
             )
@@ -156,18 +182,83 @@ def _measure_backend(backend: str, task, sweeps) -> dict:
     }
 
 
+def _measure_pool_speculative(task, sweeps) -> dict:
+    """The engine's cross-sweep pipeline, distilled.
+
+    Sweep ``i+1``'s generation work and submission happen while sweep
+    ``i``'s fits are still in flight.  When the base matrix survives
+    the sweep the speculation is committed and consumed directly; at
+    acceptance boundaries it is discarded (undispatched tasks are
+    retracted for free) and the sweep is regenerated against the new
+    base — the same commit/rollback contract ``AFEEngine._stage2``
+    follows.
+    """
+    service = _eval_service("pool")
+    y = task.y
+    scores = []
+    started = time.perf_counter()
+    with service:
+        spec_futures = None
+        spec_base = None
+        for index, (base, columns) in enumerate(sweeps):
+            if spec_futures is not None and spec_base is base:
+                futures = spec_futures
+                service.commit_speculative(futures)
+            else:
+                if spec_futures is not None:
+                    service.discard_speculative(spec_futures)
+                _generation_work(task.n_samples)  # regenerate after rollback
+                futures = service.submit_batch(base, columns, y)
+            spec_futures = None
+            spec_base = None
+            if index + 1 < len(sweeps):
+                # Speculate against the *current* base — whether it
+                # survives the in-flight sweep is exactly what the
+                # engine cannot know yet.  At acceptance boundaries the
+                # guess is wrong and the batch is discarded above.
+                next_columns = sweeps[index + 1][1]
+                _generation_work(task.n_samples)  # behind in-flight fits
+                spec_futures = service.submit_batch(
+                    base, next_columns, y, speculative=True
+                )
+                spec_base = base
+            scores.append([future.result() for future in futures])
+        if spec_futures is not None:  # pragma: no cover - loop invariant
+            service.discard_speculative(spec_futures)
+    elapsed = time.perf_counter() - started
+    submissions = N_SWEEPS * SWEEP_CANDIDATES
+    stats = service.stats
+    return {
+        "elapsed_s": elapsed,
+        "n_submissions": submissions,
+        "n_real_fits": service.evaluator.n_evaluations,
+        "n_backend_fallbacks": stats.n_backend_fallbacks,
+        "n_speculative_submitted": stats.n_speculative_submitted,
+        "n_speculative_used": stats.n_speculative_used,
+        "n_speculative_discarded": stats.n_speculative_discarded,
+        "n_drained_evictions": stats.n_drained_evictions,
+        "pool_workers": stats.pool_workers,
+        "peak_inflight": stats.peak_inflight,
+        "pool_occupancy": stats.pool_occupancy,
+        "scored_per_sec": submissions / max(elapsed, 1e-9),
+        "scores": scores,
+    }
+
+
 def backend_throughput() -> dict:
     task, sweeps = _sweep_workload()
     measured = {
         backend: _measure_backend(backend, task, sweeps)
         for backend in ("serial", "process", "pool")
     }
+    measured["pool_speculative"] = _measure_pool_speculative(task, sweeps)
     report = {
         "workload": {
             "n_samples": task.n_samples,
             "n_base_features": sweeps[0][0].shape[1],
             "n_sweeps": N_SWEEPS,
             "candidates_per_sweep": SWEEP_CANDIDATES,
+            "accept_every": ACCEPT_EVERY,
             "n_workers": N_WORKERS,
         },
         "backends": {
@@ -178,23 +269,44 @@ def backend_throughput() -> dict:
             measured["pool"]["scored_per_sec"]
             / max(measured["process"]["scored_per_sec"], 1e-9)
         ),
+        "pool_speculative_vs_process_speedup": (
+            measured["pool_speculative"]["scored_per_sec"]
+            / max(measured["process"]["scored_per_sec"], 1e-9)
+        ),
+        "pool_speculative_vs_pool_speedup": (
+            measured["pool_speculative"]["scored_per_sec"]
+            / max(measured["pool"]["scored_per_sec"], 1e-9)
+        ),
         "identical_scores": (
             measured["serial"]["scores"]
             == measured["process"]["scores"]
             == measured["pool"]["scores"]
+            == measured["pool_speculative"]["scores"]
         ),
     }
     return report
 
 
+#: Throughput-ratio gates: (report key, bar).  Checked together by the
+#: retry-once guard and asserted by the test.
+_RATIO_GATES = (
+    ("pool_vs_process_speedup", 2.0),
+    ("pool_speculative_vs_process_speedup", 4.0),
+)
+
+
+def _gates_pass(report: dict) -> bool:
+    return all(report[key] >= bar for key, bar in _RATIO_GATES)
+
+
 def _best_of_two_backend_throughput() -> dict:
-    """Best-of-two to keep the speedup gate robust on noisy CI runners."""
+    """Best-of-two to keep the speedup gates robust on noisy CI runners."""
     report = backend_throughput()
-    if report["pool_vs_process_speedup"] < 2.0:
+    if not _gates_pass(report):
         retry = backend_throughput()
-        if (
-            retry["pool_vs_process_speedup"]
-            > report["pool_vs_process_speedup"]
+        if _gates_pass(retry) or (
+            min(retry[key] / bar for key, bar in _RATIO_GATES)
+            > min(report[key] / bar for key, bar in _RATIO_GATES)
         ):
             report = retry
     return report
@@ -213,12 +325,28 @@ def test_backend_throughput(benchmark):
     # Backends must agree bit-for-bit on a cold cache...
     assert report["identical_scores"]
     for name, result in report["backends"].items():
+        if name == "pool_speculative":
+            continue  # discarded speculation legitimately re-fits
         assert result["n_real_fits"] == N_SWEEPS * SWEEP_CANDIDATES, name
         assert result["n_backend_fallbacks"] == 0, name
+    # The speculative run reports its waste through the counters: every
+    # speculated candidate is accounted used or discarded, and the only
+    # extra fits are the discarded ones.
+    spec = report["backends"]["pool_speculative"]
+    assert spec["n_backend_fallbacks"] == 0
+    assert spec["n_speculative_submitted"] == (
+        spec["n_speculative_used"] + spec["n_speculative_discarded"]
+    )
+    assert spec["n_speculative_used"] > 0
+    assert spec["n_real_fits"] >= N_SWEEPS * SWEEP_CANDIDATES
+    assert spec["n_real_fits"] <= (
+        N_SWEEPS * SWEEP_CANDIDATES + spec["n_speculative_discarded"]
+    )
     # ... and the persistent pool must beat the per-batch pool by the
-    # issue's bar: startup and base-matrix pickling paid once, not per
-    # sweep.
-    assert report["pool_vs_process_speedup"] >= 2.0
+    # issue's bar — startup and base-matrix pickling paid once, not per
+    # sweep — with speculation buying the rest of the headline ratio.
+    for key, bar in _RATIO_GATES:
+        assert report[key] >= bar, (key, report[key])
 
 
 def test_eval_throughput(benchmark):

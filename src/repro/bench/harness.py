@@ -13,9 +13,11 @@ Set ``REPRO_BENCH_PROFILE=paper`` to switch.  ``REPRO_EVAL_BACKEND``
 (``serial``/``process``/``pool``) selects the candidate-scoring
 backend of the :mod:`repro.eval` service for every method built by
 the harness (``REPRO_EVAL_WORKERS`` sizes the parallel ones), and
-``REPRO_EVAL_CACHE=0`` disables score memoization.  Scores are
-identical across backends, but the ``process`` and ``pool`` backends
-prefetch sweeps speculatively, so evaluation-*count* tables
+``REPRO_EVAL_CACHE=0`` disables score memoization.
+``REPRO_EVAL_SPECULATION=0`` turns off the pool backend's cross-agent
+sweep speculation (on by default; a no-op for the other backends).
+Scores are identical across backends, but the ``process`` and ``pool``
+backends prefetch sweeps speculatively, so evaluation-*count* tables
 (Table IV, Figure 9) are paper-comparable only under the default
 ``serial`` backend.
 """
@@ -108,6 +110,9 @@ def bench_config(seed: int = 0, **overrides) -> EngineConfig:
         )
     params["eval_backend"] = bench_eval_backend()
     params["eval_cache"] = os.environ.get("REPRO_EVAL_CACHE", "1") != "0"
+    params["eval_speculation"] = (
+        os.environ.get("REPRO_EVAL_SPECULATION", "1") != "0"
+    )
     params.update(overrides)
     return EngineConfig(**params)
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..datasets.generators import TabularTask
-from ..eval import BACKENDS, EvaluationService
+from ..eval import BACKENDS, EvaluationService, validate_eval_workers
 from ..store import make_eval_backend
 from ..ml.forest import RandomForestClassifier, RandomForestRegressor
 from ..rl.buffer import ReplayBuffer, Transition
@@ -70,6 +70,9 @@ class EngineConfig:
     eval_store_path: str | None = None  # durable shared score store
     # (SQLite file; None falls back to the REPRO_EVAL_STORE env var,
     # and an unset env var means a per-process in-memory cache)
+    eval_speculation: bool = True  # pipeline the next agent's sweep
+    # behind the in-flight one ("pool" backend only; trajectories stay
+    # bit-identical to serial — mispredictions are rolled back)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -86,6 +89,7 @@ class EngineConfig:
                 f"eval_backend must be one of {BACKENDS}, "
                 f"got {self.eval_backend!r}"
             )
+        validate_eval_workers(self.eval_workers)
 
 
 @dataclass
@@ -115,6 +119,12 @@ class AFEResult:
     n_cache_hits: int = 0  # candidate scores served from the eval cache
     n_cache_misses: int = 0  # candidate scores that paid a real CV fit
     n_backend_fallbacks: int = 0  # parallel-backend failures scored serially
+    n_speculative_submitted: int = 0  # candidates scored ahead of need
+    n_speculative_used: int = 0  # speculated candidates that became the sweep
+    n_speculative_discarded: int = 0  # speculated work invalidated by accepts
+    n_drained_evictions: int = 0  # drained speculative scores dropped (FIFO)
+    pool_workers: int = 0  # persistent-pool size (0: other backends)
+    pool_peak_inflight: int = 0  # max simultaneously submitted pool tasks
     wall_time: float = 0.0
     generation_time: float = 0.0  # time inside feature generation (Table I)
     evaluation_time: float = 0.0  # time inside downstream CV (Table I)
@@ -130,6 +140,20 @@ class AFEResult:
         """Share of candidate scores served without a downstream fit."""
         lookups = self.n_cache_hits + self.n_cache_misses
         return self.n_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def pool_occupancy(self) -> float:
+        """Peak in-flight tasks as a fraction of pool workers.
+
+        Above 1.0 means the submission pipeline kept a backlog behind
+        the workers (the speculative sweep is doing its job); 0.0 when
+        the run never used the pool backend.
+        """
+        return (
+            self.pool_peak_inflight / self.pool_workers
+            if self.pool_workers
+            else 0.0
+        )
 
     def to_dict(self, include_matrix: bool = False) -> dict:
         """JSON-serializable summary of the run.
@@ -152,6 +176,13 @@ class AFEResult:
             "n_cache_hits": self.n_cache_hits,
             "n_cache_misses": self.n_cache_misses,
             "n_backend_fallbacks": self.n_backend_fallbacks,
+            "n_speculative_submitted": self.n_speculative_submitted,
+            "n_speculative_used": self.n_speculative_used,
+            "n_speculative_discarded": self.n_speculative_discarded,
+            "n_drained_evictions": self.n_drained_evictions,
+            "pool_workers": self.pool_workers,
+            "pool_peak_inflight": self.pool_peak_inflight,
+            "pool_occupancy": self.pool_occupancy,
             "cache_hit_rate": self.cache_hit_rate,
             "wall_time": self.wall_time,
             "generation_time": self.generation_time,
@@ -200,6 +231,12 @@ class AFEResult:
             n_cache_hits=payload.get("n_cache_hits", 0),
             n_cache_misses=payload.get("n_cache_misses", 0),
             n_backend_fallbacks=payload.get("n_backend_fallbacks", 0),
+            n_speculative_submitted=payload.get("n_speculative_submitted", 0),
+            n_speculative_used=payload.get("n_speculative_used", 0),
+            n_speculative_discarded=payload.get("n_speculative_discarded", 0),
+            n_drained_evictions=payload.get("n_drained_evictions", 0),
+            pool_workers=payload.get("pool_workers", 0),
+            pool_peak_inflight=payload.get("pool_peak_inflight", 0),
             wall_time=payload.get("wall_time", 0.0),
             generation_time=payload.get("generation_time", 0.0),
             evaluation_time=payload.get("evaluation_time", 0.0),
@@ -209,6 +246,26 @@ class AFEResult:
                 payload["selected_matrix"], dtype=np.float64
             )
         return result
+
+
+@dataclass
+class _SweepPlan:
+    """One agent's generated-and-filtered sweep, not yet scored.
+
+    ``steps`` are the sweep's trajectory entries (blocked and filtered
+    candidates already carry their -thre reward); ``pending`` holds the
+    candidates that survived the filter as ``(slot, state, action,
+    feature)`` where ``slot`` indexes into ``steps``.  The plan keeps
+    its own generation counters so a speculated-then-discarded sweep
+    never leaks into the run accounting — counters merge into the
+    result only when the plan is actually consumed.
+    """
+
+    agent_index: int
+    steps: list[TrajectoryStep] = field(default_factory=list)
+    pending: list[tuple] = field(default_factory=list)
+    n_generated: int = 0
+    n_filtered_out: int = 0
 
 
 class AFEEngine:
@@ -338,6 +395,118 @@ class AFEEngine:
                 controller.bias_agent(agent_index, action, strength=0.5)
 
     # -- stage 2 --------------------------------------------------------------
+    def _generate_sweep(
+        self,
+        space: FeatureSpace,
+        controller: MultiAgentController,
+        agent_index: int,
+        result: AFEResult,
+    ) -> _SweepPlan:
+        """Act/generate one agent sweep, then filter it in one batch.
+
+        Pure with respect to the run accounting except for
+        ``generation_time`` (real wall time is charged even when the
+        sweep was speculative and later regenerated); ``n_generated`` /
+        ``n_filtered_out`` live on the plan until it is consumed.
+        """
+        plan = _SweepPlan(agent_index=agent_index)
+        generated: list[tuple] = []
+        for _ in range(self.config.transforms_per_agent):
+            state = space.state_vector(agent_index)
+            action = controller.act(agent_index, state)
+            generation_started = time.perf_counter()
+            feature = space.generate(agent_index, action)
+            result.generation_time += time.perf_counter() - generation_started
+            if feature is None:
+                plan.steps.append(
+                    TrajectoryStep(agent_index, state, action, -self.config.thre)
+                )
+                continue
+            plan.n_generated += 1
+            plan.steps.append(TrajectoryStep(agent_index, state, action, 0.0))
+            generated.append((len(plan.steps) - 1, state, action, feature))
+        # Filter the sweep in one batch (one vectorized FPE inference);
+        # rejected candidates get the -thre reward their step would
+        # have received in the sequential loop.
+        if generated:
+            keeps = self.filter.keep_batch(
+                [feature.values for _, _, _, feature in generated]
+            )
+            for (slot, state, action, feature), kept in zip(generated, keeps):
+                if kept:
+                    plan.pending.append((slot, state, action, feature))
+                    continue
+                plan.n_filtered_out += 1
+                plan.steps[slot] = TrajectoryStep(
+                    agent_index, state, action, -self.config.thre
+                )
+        return plan
+
+    def _speculate(
+        self,
+        space: FeatureSpace,
+        controller: MultiAgentController,
+        service: EvaluationService,
+        task: TabularTask,
+        agent_index: int,
+        base_token: str,
+        result: AFEResult,
+    ) -> dict:
+        """Generate agent ``agent_index``'s sweep ahead of its turn.
+
+        Called while the previous agent's batch is in flight on the
+        pool: snapshots every RNG the generation pass draws from
+        (controller, operand sampler, stateful filters), generates and
+        filters the sweep against the current accepted-feature state,
+        and submits the survivors speculatively — low priority, behind
+        the in-flight confirmed batch.  If the previous sweep ends
+        without an acceptance the speculation *is* the next sweep; if
+        the base matrix changes, :meth:`_rollback_speculation` rewinds
+        the snapshots so regeneration replays the identical draws.
+        """
+        snapshot = {
+            "controller": controller.snapshot(),
+            "space_rng": space.rng_snapshot(),
+            "filter": self.filter.state_snapshot(),
+        }
+        plan = self._generate_sweep(space, controller, agent_index, result)
+        futures = service.submit_batch(
+            space.feature_matrix(),
+            [feature.values for _, _, _, feature in plan.pending],
+            task.y,
+            base_token=base_token,
+            speculative=True,
+        )
+        return {
+            "agent_index": agent_index,
+            "plan": plan,
+            "futures": futures,
+            "base_token": base_token,
+            "snapshot": snapshot,
+        }
+
+    def _rollback_speculation(
+        self,
+        spec: dict,
+        space: FeatureSpace,
+        controller: MultiAgentController,
+        service: EvaluationService,
+    ) -> None:
+        """Invalidate a speculation: an acceptance changed the base.
+
+        Restores the controller / operand-RNG / filter snapshots taken
+        before the speculative generation pass — the re-run draws the
+        identical random sequence, so trajectories stay bit-identical
+        to a run that never speculated — and hands the in-flight
+        futures to the service's discard machinery (undispatched pool
+        tasks are cancelled for free; running fits drain into the
+        cache).
+        """
+        controller.restore(spec["snapshot"]["controller"])
+        space.rng_restore(spec["snapshot"]["space_rng"])
+        self.filter.state_restore(spec["snapshot"]["filter"])
+        service.discard_speculative(spec["futures"])
+
     def _stage2(
         self,
         space: FeatureSpace,
@@ -369,7 +538,22 @@ class AFEEngine:
         previously accepted feature, as sequential scoring would, and
         credit assignment stays deterministic across backends (the
         in-flight scores against the abandoned base are not discarded:
-        the service caches them for later).  One deliberate deviation
+        the service caches them for later).
+
+        On top of that, the pool backend pipelines *across* sweep
+        boundaries: the moment agent k's batch is submitted, agent
+        k+1's generation and filtering run against the current state
+        and its survivors are queued speculatively behind the in-flight
+        batch (low priority — confirmed work dispatches first).  If
+        agent k's sweep ends without an acceptance, the speculation
+        simply *is* agent k+1's sweep; if an acceptance changes the
+        base matrix, the controller / operand-sampler / filter RNGs are
+        rewound to their pre-speculation snapshots and the sweep is
+        regenerated — the replayed draws are identical, so trajectories
+        stay bit-identical to a run with ``eval_speculation=False`` (and
+        to the serial backend).  The waste is bounded and reported:
+        ``AFEResult.n_speculative_discarded`` counts invalidated
+        speculative fits.  One deliberate deviation
         from a fully sequential loop remains: a sweep's actions are all
         selected (and candidates generated) before any is scored, so
         same-sweep rewards and acceptances are not yet visible to
@@ -415,67 +599,86 @@ class AFEEngine:
                     break
                 queue = queue[accepted_at + 1 :]
         epochs_without_improvement = 0
+        # Cross-agent speculation: only worthwhile on the persistent
+        # pool (serial futures are lazy, the process backend prefetches
+        # eagerly — speculating there is pure waste), and only across
+        # agents *within* an epoch (the REINFORCE update and episode
+        # reset at the epoch boundary are not speculated through).
+        speculate = self.config.eval_speculation and service.backend == "pool"
+        spec: dict | None = None
         for epoch in range(self.config.n_epochs):
             best_before_epoch = best_score
             controller.reset_episode()
             steps: list[TrajectoryStep] = []
             for agent_index in range(space.n_agents):
-                # Act/generate sequentially, deferring the FPE filter
-                # and downstream scores to one batch each per agent
-                # sweep.  Each entry: (index into steps, state, action,
-                # feature).
-                generated: list[tuple] = []
-                for _ in range(self.config.transforms_per_agent):
-                    state = space.state_vector(agent_index)
-                    action = controller.act(agent_index, state)
-                    generation_started = time.perf_counter()
-                    feature = space.generate(agent_index, action)
-                    result.generation_time += time.perf_counter() - generation_started
-                    if feature is None:
-                        steps.append(
-                            TrajectoryStep(agent_index, state, action, -self.config.thre)
+                committed: list | None = None
+                if spec is not None and spec["agent_index"] == agent_index:
+                    if spec["base_token"] == space.matrix_token():
+                        # The speculation held: its generated sweep and
+                        # in-flight scores become this agent's turn.
+                        plan = spec["plan"]
+                        committed = spec["futures"]
+                        service.commit_speculative(committed)
+                    else:
+                        # Base moved without a rollback — no code path
+                        # does this today; regenerate defensively.
+                        self._rollback_speculation(
+                            spec, space, controller, service
                         )
-                        continue
-                    result.n_generated += 1
-                    steps.append(
-                        TrajectoryStep(agent_index, state, action, 0.0)
-                    )
-                    generated.append((len(steps) - 1, state, action, feature))
-                # Filter the sweep in one batch (one vectorized FPE
-                # inference); rejected candidates get the -thre reward
-                # their step would have received in the sequential loop.
-                pending: list[tuple] = []
-                if generated:
-                    keeps = self.filter.keep_batch(
-                        [feature.values for _, _, _, feature in generated]
-                    )
-                    for (slot, state, action, feature), kept in zip(
-                        generated, keeps
-                    ):
-                        if kept:
-                            pending.append((slot, state, action, feature))
-                            continue
-                        result.n_filtered_out += 1
-                        steps[slot] = TrajectoryStep(
-                            agent_index, state, action, -self.config.thre
+                        plan = self._generate_sweep(
+                            space, controller, agent_index, result
                         )
-                queue = pending
+                    spec = None
+                else:
+                    plan = self._generate_sweep(
+                        space, controller, agent_index, result
+                    )
+                result.n_generated += plan.n_generated
+                result.n_filtered_out += plan.n_filtered_out
+                queue = plan.pending
                 while queue:
                     base = space.feature_matrix()
                     base_names = space.feature_names()
-                    scores = service.iter_scores_async(
-                        base,
-                        [feature.values for _, _, _, feature in queue],
-                        task.y,
-                        base_token=space.matrix_token(),
-                    )
-                    accepted_at = None
-                    for index, ((slot, state, action, feature), score) in enumerate(
-                        zip(queue, scores)
+                    base_token = space.matrix_token()
+                    if committed is not None:
+                        futures = committed
+                        committed = None
+                    else:
+                        futures = service.submit_batch(
+                            base,
+                            [feature.values for _, _, _, feature in queue],
+                            task.y,
+                            base_token=base_token,
+                        )
+                    # With the batch in flight, run the *next* agent's
+                    # generation + filtering now and queue its
+                    # survivors speculatively behind it — the pool
+                    # stays hot across the sweep boundary.
+                    if (
+                        speculate
+                        and spec is None
+                        and agent_index + 1 < space.n_agents
                     ):
+                        spec = self._speculate(
+                            space,
+                            controller,
+                            service,
+                            task,
+                            agent_index + 1,
+                            base_token,
+                            result,
+                        )
+                    accepted_at = None
+                    for index, (
+                        (slot, state, action, feature),
+                        future,
+                    ) in enumerate(zip(queue, futures)):
+                        score = future.result()
                         gain = score - current_score
                         space.record_reward(agent_index, gain)
-                        steps[slot] = TrajectoryStep(agent_index, state, action, gain)
+                        plan.steps[slot] = TrajectoryStep(
+                            agent_index, state, action, gain
+                        )
                         if score > best_score:
                             best_score = score
                             best_features = base_names + [feature.name]
@@ -487,7 +690,18 @@ class AFEEngine:
                             break
                     if accepted_at is None:
                         break
+                    # The acceptance changed the base matrix: whatever
+                    # was speculated against the old base is invalid.
+                    # Rewind the RNG snapshots and discard the futures;
+                    # the next pass re-issues the remainder and
+                    # re-speculates against the new base.
+                    if spec is not None:
+                        self._rollback_speculation(
+                            spec, space, controller, service
+                        )
+                        spec = None
                     queue = queue[accepted_at + 1 :]
+                steps.extend(plan.steps)
             if steps:
                 if not self.config.per_step_rewards:
                     # NFS-style credit: every step in the epoch receives
@@ -569,6 +783,12 @@ class AFEEngine:
         result.n_cache_hits = service.n_cache_hits
         result.n_cache_misses = service.n_cache_misses
         result.n_backend_fallbacks = service.stats.n_backend_fallbacks
+        result.n_speculative_submitted = service.stats.n_speculative_submitted
+        result.n_speculative_used = service.stats.n_speculative_used
+        result.n_speculative_discarded = service.stats.n_speculative_discarded
+        result.n_drained_evictions = service.stats.n_drained_evictions
+        result.pool_workers = service.stats.pool_workers
+        result.pool_peak_inflight = service.stats.peak_inflight
         result.wall_time = time.perf_counter() - started
         return result
 

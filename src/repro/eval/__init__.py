@@ -23,7 +23,12 @@ store path is configured (``EngineConfig.eval_store_path`` /
 """
 
 from .arena import FeatureMatrixArena
-from .executor import PoolExecutor, TaskFailed, TaskLost
+from .executor import (
+    PoolExecutor,
+    TaskFailed,
+    TaskLost,
+    validate_eval_workers,
+)
 from .fingerprint import ColumnFingerprinter, content_digest
 from .folds import FoldCache
 from .service import (
@@ -47,4 +52,5 @@ __all__ = [
     "TaskFailed",
     "TaskLost",
     "content_digest",
+    "validate_eval_workers",
 ]

@@ -12,9 +12,18 @@ number, and scoring overlaps with whatever the parent does next.
 Contract
 --------
 * :meth:`submit` enqueues one candidate and returns a sequence number.
+  Submissions carry a **priority tier** (0 = confirmed, 1 =
+  speculative): tasks are staged in a parent-side backlog and fed to
+  the workers through a bounded dispatch window in ``(priority,
+  seq)`` order, so speculative work only occupies workers when no
+  confirmed work is waiting, and confirmed work submitted later
+  preempts speculative work that has not been dispatched yet.
 * :meth:`result` blocks for that sequence number (out-of-order worker
-  completions are buffered), folding nothing into any counter — the
-  caller owns accounting.
+  completions are buffered; an undispatched sequence number is
+  force-dispatched first, bypassing the window), folding nothing into
+  any counter — the caller owns accounting.  :meth:`promote` raises a
+  backlogged speculative submission to confirmed priority;
+  :meth:`cancel` retracts one that was never dispatched, for free.
 * Workers rebuild folds via :func:`~repro.ml.model_selection.plan_folds`
   from the shared target, and score through a worker-local
   :class:`~repro.eval.arena.FeatureMatrixArena`, so scores are
@@ -82,14 +91,37 @@ def env_eval_workers() -> int | None:
     return workers
 
 
+def validate_eval_workers(value, name: str = "eval_workers") -> int | None:
+    """Reject worker counts that are not positive integers.
+
+    ``None`` means "use the default" and passes through; everything
+    else must be a positive ``int`` (``bool`` counts as invalid — a
+    ``True`` worker count is a bug, not a request for one worker).
+    The error names the knob so a bad ``eval_workers=0`` fails at
+    configuration time instead of deep inside pool construction.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{name} must be a positive integer or None, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
 def resolve_pool_workers(explicit: int | None) -> int:
     """Pool size: explicit config, else ``REPRO_EVAL_WORKERS``, else all CPUs.
 
     Unlike the ``process`` backend's historical ``min(4, cpu_count)``
     cap, a persistent pool amortizes startup, so it defaults to every
-    core.
+    core.  An invalid explicit value (zero, negative, non-integer)
+    raises instead of silently falling through to the defaults.
     """
-    if explicit is not None and explicit > 0:
+    explicit = validate_eval_workers(explicit)
+    if explicit is not None:
         return explicit
     from_env = env_eval_workers()
     if from_env is not None:
@@ -193,6 +225,23 @@ class PoolExecutor:
         self._pending: dict[int, tuple[str, str]] = {}
         self._resolved: dict[int, tuple[float | None, float, str | None]] = {}
         self._lost: set[int] = set()
+        # Parent-side staging: submissions wait here as
+        # [priority, seq, task] entries until a dispatch-window slot
+        # frees up.  Entries are mutable so promote() can flip the
+        # priority in place.
+        self._backlog: list[list] = []
+        self._dispatched: set[int] = set()
+        # At most this many tasks sit in the worker queues at once:
+        # one running plus one buffered per worker keeps workers
+        # saturated while leaving later-submitted confirmed work able
+        # to overtake the speculative backlog.
+        self._max_dispatched = max(2, 2 * self.n_workers)
+        #: Dispatch order (sequence numbers), newest last.  Exists for
+        #: observability/tests of the priority contract; bounded.
+        self.dispatch_log: list[int] = []
+        #: High-water mark of concurrently outstanding submissions
+        #: (dispatched + backlogged) — the pool-occupancy numerator.
+        self.peak_inflight = 0
         self.n_recoveries = 0
         self._closed = False
         # Every worker generation ever spawned, for the finalizer:
@@ -256,11 +305,14 @@ class PoolExecutor:
         return any(worker.exitcode is not None for worker in self._workers)
 
     def _recover(self) -> None:
-        """Respawn after a worker death; in-flight submissions are lost.
+        """Respawn after a worker death; dispatched submissions are lost.
 
-        Everything already sitting in the result queue is kept; the
-        rest of the pending set is marked lost so callers re-score
-        those candidates serially instead of hanging forever.
+        Everything already sitting in the result queue is kept, and
+        every *dispatched* uncollected submission is marked lost so
+        callers re-score those candidates serially instead of hanging
+        forever.  Backlogged (never-dispatched) submissions survive
+        the crash untouched — their tasks were never handed to a
+        worker, so they simply re-dispatch to the fresh pool.
         """
         self.n_recoveries += 1
         for worker in self._workers:
@@ -268,19 +320,23 @@ class PoolExecutor:
         for worker in self._workers:
             worker.join(timeout=_JOIN_TIMEOUT)
         self._drain_queue_nowait()
-        for seq, tokens in self._pending.items():
+        for seq in self._dispatched:
+            tokens = self._pending.pop(seq, None)
+            if tokens is None:
+                continue  # resolved by the drain above
             self._store.release(tokens[0])
             self._store.release(tokens[1])
             self._lost.add(seq)
-        self._pending.clear()
+        self._dispatched.clear()
         # Fresh queues: tasks still sitting in the old one belong to
         # lost sequence numbers and must not reach the new workers.
         for old in (self._task_queue, self._result_queue):
             old.close()
             old.cancel_join_thread()
         self._spawn()
+        self._dispatch()
 
-    # -- submission / collection --------------------------------------------
+    # -- submission / dispatch ----------------------------------------------
     def submit(
         self,
         base_token: str,
@@ -288,11 +344,15 @@ class PoolExecutor:
         y_token: str,
         y: np.ndarray,
         column: np.ndarray,
+        priority: int = 0,
     ) -> int:
         """Enqueue one candidate; returns its sequence number.
 
         ``base`` and ``y`` are only serialized on the first submission
         carrying their token — later submissions ship the column alone.
+        ``priority`` 0 is confirmed work, 1 is speculative: the task is
+        staged in the parent-side backlog and reaches the workers in
+        ``(priority, seq)`` order through the dispatch window.
         """
         if self._closed:
             raise RuntimeError("executor is closed")
@@ -307,22 +367,90 @@ class PoolExecutor:
         self._seq += 1
         seq = self._seq
         self._pending[seq] = (base_token, y_token)
+        self.peak_inflight = max(self.peak_inflight, len(self._pending))
         column_bytes = (
             np.ascontiguousarray(column, dtype=np.float64).tobytes()
         )
-        self._task_queue.put(
-            (
-                seq,
-                base_token,
-                base_name,
-                base_shape,
-                y_token,
-                y_name,
-                y_shape,
-                column_bytes,
-            )
+        task = (
+            seq,
+            base_token,
+            base_name,
+            base_shape,
+            y_token,
+            y_name,
+            y_shape,
+            column_bytes,
         )
+        self._backlog.append([priority, seq, task])
+        self._dispatch()
         return seq
+
+    def _dispatch(self) -> None:
+        """Feed backlogged tasks to the workers, best-priority first."""
+        while self._backlog and len(self._dispatched) < self._max_dispatched:
+            best = min(
+                range(len(self._backlog)),
+                key=lambda i: (self._backlog[i][0], self._backlog[i][1]),
+            )
+            _, seq, task = self._backlog.pop(best)
+            self._send_task(seq, task)
+
+    def _send_task(self, seq: int, task: tuple) -> None:
+        self._task_queue.put(task)
+        self._dispatched.add(seq)
+        if len(self.dispatch_log) >= 4096:
+            del self.dispatch_log[:2048]
+        self.dispatch_log.append(seq)
+
+    def _ensure_dispatched(self, seq: int) -> None:
+        """Force one backlogged task out, bypassing the window.
+
+        Called when a caller *blocks* on the sequence number: waiting
+        for a window slot would be strictly slower than running it.
+        """
+        for index, entry in enumerate(self._backlog):
+            if entry[1] == seq:
+                del self._backlog[index]
+                self._send_task(seq, entry[2])
+                return
+
+    def promote(self, seq: int) -> None:
+        """Raise a backlogged speculative submission to confirmed.
+
+        No-op when the task has already been dispatched, resolved, or
+        cancelled.  Used when speculation is committed: the scores are
+        now on the critical path, so the remaining backlog entries must
+        beat any speculative work queued behind them.
+        """
+        for entry in self._backlog:
+            if entry[1] == seq:
+                entry[0] = 0
+                break
+        self._dispatch()
+
+    def cancel(self, seq: int) -> bool:
+        """Retract a submission that was never dispatched.
+
+        Returns ``True`` (and releases its segment references) when
+        the task was still in the parent-side backlog — the candidate
+        never reached a worker, so no fit is paid and no result will
+        arrive.  Returns ``False`` for dispatched/resolved submissions,
+        which must be collected or drained instead.
+        """
+        for index, entry in enumerate(self._backlog):
+            if entry[1] == seq:
+                del self._backlog[index]
+                tokens = self._pending.pop(seq, None)
+                if tokens is not None:
+                    self._store.release(tokens[0])
+                    self._store.release(tokens[1])
+                return True
+        return False
+
+    @property
+    def n_backlogged(self) -> int:
+        """Submissions staged parent-side, not yet sent to a worker."""
+        return len(self._backlog)
 
     def _record(self, item) -> None:
         seq, score, seconds, error = item
@@ -330,7 +458,11 @@ class PoolExecutor:
         if tokens is not None:
             self._store.release(tokens[0])
             self._store.release(tokens[1])
+        self._dispatched.discard(seq)
         self._resolved[seq] = (score, seconds, error)
+        # A worker just freed a window slot: keep it saturated.
+        if self._backlog and not self._closed:
+            self._dispatch()
 
     def _drain_queue_nowait(self) -> None:
         while True:
@@ -353,6 +485,7 @@ class PoolExecutor:
         :class:`TaskFailed` when the worker raised while scoring it.
         Either way the pool itself stays usable.
         """
+        self._ensure_dispatched(seq)
         while True:
             if seq in self._resolved:
                 score, seconds, error = self._resolved.pop(seq)
@@ -420,6 +553,8 @@ class PoolExecutor:
         for q in (self._task_queue, self._result_queue):
             q.close()
             q.cancel_join_thread()
+        self._backlog.clear()
+        self._dispatched.clear()
         self._pending.clear()
         self._store.close()
         self._finalizer.detach()

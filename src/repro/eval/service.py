@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -92,10 +93,48 @@ class EvalStats:
     #: but slower than configured — previously this degradation was
     #: silent.
     n_backend_fallbacks: int = 0
+    #: Speculative-tier accounting (the engine's cross-agent sweep
+    #: pipelining).  ``submitted`` counts futures created with
+    #: ``submit_batch(..., speculative=True)``; every speculation is
+    #: later either committed (``used``: the base matrix did not
+    #: change, the scores are consumed as real work) or rolled back
+    #: (``discarded``: an acceptance invalidated the base they were
+    #: scored against), so ``submitted == used + discarded`` at the
+    #: end of a run.  Discarded counts *invalidated futures*, an upper
+    #: bound on waste: discards cancelled before reaching a worker pay
+    #: no fit, and discards that did fit still land in the cache.
+    n_speculative_submitted: int = 0
+    n_speculative_used: int = 0
+    n_speculative_discarded: int = 0
+    #: Drained speculative scores evicted from the bounded
+    #: held-for-the-caller buffer before anyone resolved their future.
+    #: Non-zero means futures were abandoned in numbers past the bound
+    #: — their scores are still in the cache, but *resolving* one of
+    #: the evicted futures afterwards pays a duplicate serial fit
+    #: (counted as a backend fallback).  Previously this eviction was
+    #: silent; now it is counted here and warned about once.
+    n_drained_evictions: int = 0
+    #: Pool-occupancy observability: worker count of the persistent
+    #: pool and the high-water mark of concurrently outstanding
+    #: submissions (dispatched + backlogged).
+    pool_workers: int = 0
+    peak_inflight: int = 0
 
     @property
     def n_lookups(self) -> int:
         return self.n_hits + self.n_misses
+
+    @property
+    def pool_occupancy(self) -> float:
+        """Peak outstanding submissions per worker (0 without a pool).
+
+        Values ≥ 1 mean the sweep kept every worker busy at least once
+        at its peak; sustained values well above 1 mean submissions
+        queued behind the pool — the pipelining headroom measurement.
+        """
+        if not self.pool_workers:
+            return 0.0
+        return self.peak_inflight / self.pool_workers
 
     @property
     def hit_rate(self) -> float:
@@ -265,10 +304,12 @@ class EvaluationService:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        from .executor import validate_eval_workers
+
         self.evaluator = evaluator
         self.cache = cache
         self.backend = backend
-        self.n_workers = n_workers
+        self.n_workers = validate_eval_workers(n_workers, name="n_workers")
         self.stats = EvalStats()
         self._folds = fold_cache or FoldCache()
         self._fingerprinter = ColumnFingerprinter(seed=evaluator.seed)
@@ -292,8 +333,10 @@ class EvaluationService:
         # Scores _drain_speculative consumed for futures the caller
         # may still hold: resolving such a future must return the
         # drained value (already counted and cached), never re-wait on
-        # the executor.
+        # the executor.  Bounded (_DRAINED_CAPACITY); evictions are
+        # counted in stats.n_drained_evictions and warned about once.
         self._drained: dict[int, float] = {}
+        self._warned_drained_eviction = False
 
     @classmethod
     def from_config(
@@ -406,6 +449,9 @@ class EvaluationService:
             self._store_many(self._write_buffer)
             self._write_buffer = []
 
+    #: Bound on scores held for abandoned-but-still-referenced futures.
+    _DRAINED_CAPACITY = 4096
+
     def _drain_speculative(self, block: bool = False) -> None:
         """Absorb completed pool submissions nobody is waiting on.
 
@@ -437,8 +483,20 @@ class EvaluationService:
             score, seconds = outcome
             self._inflight.pop(seq, None)
             self._drained[seq] = score
-            while len(self._drained) > 4096:  # bound for abandoned futures
+            while len(self._drained) > self._DRAINED_CAPACITY:
                 self._drained.pop(next(iter(self._drained)))
+                self.stats.n_drained_evictions += 1
+                if not self._warned_drained_eviction:
+                    self._warned_drained_eviction = True
+                    warnings.warn(
+                        "EvaluationService drained-score buffer overflowed "
+                        f"(> {self._DRAINED_CAPACITY} abandoned futures); "
+                        "resolving an evicted future now pays a duplicate "
+                        "serial fit (counted in n_drained_evictions / "
+                        "n_backend_fallbacks)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             self.evaluator.n_evaluations += 1
             self.evaluator.total_eval_time += seconds
             self._buffer_write(key, score)
@@ -671,6 +729,7 @@ class EvaluationService:
         columns: list[np.ndarray],
         y: np.ndarray,
         base_token: str | None = None,
+        speculative: bool = False,
     ) -> list[ScoreFuture]:
         """Submit candidates for scoring; returns one future per column.
 
@@ -684,17 +743,39 @@ class EvaluationService:
         like :meth:`iter_scores`); the ``process`` backend prefetches
         the whole batch speculatively, as it always has.
 
+        ``speculative=True`` marks the batch as *cross-sweep
+        speculation*: work the caller expects to need but may have to
+        invalidate (the engine submits the next agent's sweep behind
+        the in-flight one this way).  Speculative pool submissions run
+        at low priority — they fill idle workers but never delay
+        confirmed work that has not been dispatched yet — and the base
+        matrix is copied at submission, so the caller may mutate its
+        buffer (accept a feature) while they are in flight.  Every
+        speculative batch must later be resolved with exactly one of
+        :meth:`commit_speculative` or :meth:`discard_speculative`.
+
         Consume futures in submission order for trajectories that are
         bit-identical to the serial backend.
         """
         if not columns:
             return []
+        if speculative:
+            self.stats.n_speculative_submitted += len(columns)
         if self.backend == "process":
             # score_batch owns stats/batch accounting on this path.
+            # (Speculation is pointless here — the whole batch is fit
+            # eagerly at submission — but the accounting stays honest.)
             scores = self.score_batch(base, columns, y, base_token=base_token)
             return [ScoreFuture.resolved(score) for score in scores]
         self.stats.n_batches += 1
-        base = np.asarray(base, dtype=np.float64)
+        if speculative:
+            # The engine hands us a transient arena view; an acceptance
+            # while these futures are in flight would mutate it under
+            # the crash-fallback path's feet.  One copy per speculated
+            # sweep keeps the fallback base frozen.
+            base = np.array(base, dtype=np.float64)
+        else:
+            base = np.asarray(base, dtype=np.float64)
         token = base_token if base_token is not None else self.token(base)
         target_token = self._target_token(y)
         if self.backend == "serial":
@@ -708,6 +789,7 @@ class EvaluationService:
         self._drain_speculative()
         self._flush_writes()
         y = np.asarray(y, dtype=np.float64).reshape(-1)
+        priority = 1 if speculative else 0
         futures: list[ScoreFuture] = []
         first_of_key: dict[str, ScoreFuture] = {}
         for column in columns:
@@ -723,14 +805,59 @@ class EvaluationService:
                 future = ScoreFuture.resolved(cached)
             else:
                 self._note_near_duplicate(column)
-                seq = executor.submit(token, base, target_token, y, column)
+                seq = executor.submit(
+                    token, base, target_token, y, column, priority=priority
+                )
                 self._inflight[seq] = key
                 future = ScoreFuture._make_pool(
                     self, seq, key, base, token, column, y
                 )
             first_of_key[key] = future
             futures.append(future)
+        self._sync_pool_stats()
         return futures
+
+    def commit_speculative(self, futures: list[ScoreFuture]) -> None:
+        """Promote a speculative batch to confirmed work.
+
+        The speculation held (the base matrix the batch was submitted
+        against is still the live one): its futures are about to be
+        consumed as the real sweep, so backlogged pool submissions are
+        promoted to confirmed priority and the batch is counted as
+        used.
+        """
+        self.stats.n_speculative_used += len(futures)
+        if self._executor is None:
+            return
+        for future in futures:
+            if future._state == ScoreFuture._POOL:
+                self._executor.promote(future._seq)
+
+    def discard_speculative(self, futures: list[ScoreFuture]) -> None:
+        """Invalidate a speculative batch (the base matrix changed).
+
+        Counted in ``stats.n_speculative_discarded``.  Pool
+        submissions that never reached a worker are cancelled outright
+        — no fit is paid; submissions already running drain into the
+        counters and the cache through the usual speculative-drain
+        machinery, exactly like any abandoned in-flight batch.
+        """
+        self.stats.n_speculative_discarded += len(futures)
+        if self._executor is None:
+            return
+        for future in futures:
+            if future._state != ScoreFuture._POOL:
+                continue
+            if future._seq in self._drained:
+                continue  # already absorbed by a drain pass
+            if self._executor.cancel(future._seq):
+                self._inflight.pop(future._seq, None)
+
+    def _sync_pool_stats(self) -> None:
+        """Mirror executor occupancy into the reportable stats."""
+        if self._executor is not None:
+            self.stats.pool_workers = self._executor.n_workers
+            self.stats.peak_inflight = self._executor.peak_inflight
 
     def iter_scores_async(
         self,

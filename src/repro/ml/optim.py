@@ -60,6 +60,20 @@ class Adam:
         self._v: dict[int, np.ndarray] = {}
         self._t = 0
 
+    def state_snapshot(self) -> dict:
+        """Deep copy of the moment estimates and the step counter."""
+        return {
+            "m": {i: m.copy() for i, m in self._m.items()},
+            "v": {i: v.copy() for i, v in self._v.items()},
+            "t": self._t,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Reset the optimizer to a :meth:`state_snapshot`."""
+        self._m = {i: m.copy() for i, m in state["m"].items()}
+        self._v = {i: v.copy() for i, v in state["v"].items()}
+        self._t = state["t"]
+
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         """In-place Adam update of every parameter array."""
         if len(params) != len(grads):

@@ -141,6 +141,33 @@ class RecurrentPolicyAgent:
         )
         return loss
 
+    # -- state capture -------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Deep copy of everything :meth:`act` and :meth:`update` touch.
+
+        Covers the weights, the carried distribution ``h``, the Adam
+        moments, and the sampling RNG — restoring the snapshot makes
+        the agent replay the exact action sequence it would have
+        produced from the snapshot point.
+        """
+        return {
+            "W": self._W.copy(),
+            "U": self._U.copy(),
+            "b": self._b.copy(),
+            "h": self.h.copy(),
+            "optimizer": self._optimizer.state_snapshot(),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Rewind the agent to a :meth:`state_snapshot`."""
+        self._W = state["W"].copy()
+        self._U = state["U"].copy()
+        self._b = state["b"].copy()
+        self.h = state["h"].copy()
+        self._optimizer.state_restore(state["optimizer"])
+        self._rng.bit_generator.state = state["rng"]
+
     def bias_toward(self, action: int, strength: float = 1.0) -> None:
         """Nudge the policy prior toward one action.
 

@@ -116,6 +116,20 @@ class FeatureSpace:
         self._group(agent_index)  # validates the index
         self._last_rewards[agent_index] = reward
 
+    def rng_snapshot(self) -> dict:
+        """State of the shared operand-sampling RNG.
+
+        Generation is the only environment transition that draws from
+        the RNG (acceptance and reward recording do not), so snapshot +
+        :meth:`rng_restore` around a speculative generation pass makes
+        a re-run draw the identical operand sequence.
+        """
+        return self.rng.bit_generator.state
+
+    def rng_restore(self, state: dict) -> None:
+        """Rewind the operand-sampling RNG to a :meth:`rng_snapshot`."""
+        self.rng.bit_generator.state = state
+
     # -- transitions -----------------------------------------------------------
     def generate(
         self, agent_index: int, action_index: int

@@ -67,6 +67,31 @@ class MultiAgentController:
         """Sample an action for one agent."""
         return self._agent(agent_index).act(state)
 
+    def snapshot(self) -> dict:
+        """Deep copy of the whole controller state.
+
+        Captures every agent (weights, carried distribution, optimizer
+        moments, sampling RNG) plus the shared reward baseline.  Used
+        by the engine's speculative cross-agent pipeline: acting
+        speculatively and then :meth:`restore`-ing replays the exact
+        trajectory a non-speculative run would have produced.
+        """
+        return {
+            "agents": [agent.state_snapshot() for agent in self.agents],
+            "baseline": self._baseline,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rewind the controller to a :meth:`snapshot`."""
+        if len(state["agents"]) != self.n_agents:
+            raise ValueError(
+                f"snapshot holds {len(state['agents'])} agents, "
+                f"controller has {self.n_agents}"
+            )
+        for agent, agent_state in zip(self.agents, state["agents"]):
+            agent.state_restore(agent_state)
+        self._baseline = state["baseline"]
+
     def action_distribution(self, agent_index: int, state: np.ndarray) -> np.ndarray:
         return self._agent(agent_index).distribution(state)
 

@@ -44,6 +44,7 @@ _HASH_EXCLUDED_FIELDS = (
     "eval_workers",
     "eval_cache",
     "eval_store_path",
+    "eval_speculation",
 )
 
 
