@@ -57,7 +57,7 @@ from .api import (
 )
 from .serve import FeaturePipeline, PlanRegistry, TransformService
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AutoFeatureEngineer",

@@ -16,6 +16,12 @@ experiment; ``methods`` shows every method in the searcher registry
 ``REPRO_SEARCHER_PLUGINS``), and ``--methods`` runs a method subset
 where the experiment takes one (table3, table5, figure7,
 related_work).
+
+``--worker`` turns the process into a fleet worker: instead of running
+the experiment it claims cells enqueued in ``--store`` by ``python -m
+repro.fleet leader`` under a heartbeated lease, runs each through the
+same harness choke point, and exits when the sweep drains — N workers
+on N hosts pointed at one store drain one sweep concurrently.
 """
 
 from __future__ import annotations
@@ -70,6 +76,49 @@ _EXPERIMENTS = {
         True,
     ),
 }
+
+
+#: Experiments accepting a ``datasets`` subset / a ``methods`` subset.
+_DATASET_EXPERIMENTS = ("table1", "figure1", "table3", "table4", "table5")
+_METHOD_EXPERIMENTS = ("table3", "table5", "figure7", "related_work")
+
+
+def build_experiment_call(
+    experiment: str,
+    seed: int = 0,
+    datasets: list[str] | None = None,
+    methods: list[str] | None = None,
+):
+    """Resolve an experiment id into ``(runner, formatter, kwargs, needs_fpe)``.
+
+    Shared by this CLI and the :mod:`repro.fleet` leader (which runs
+    the same runner twice: once with the enqueue sink installed, once
+    as the final store-backed render pass).  ``kwargs`` carries the
+    seed plus any dataset/method subsets the experiment supports;
+    unsupported overrides raise ``ValueError``.  The FPE model is NOT
+    built here — callers that need one add ``kwargs["fpe"]`` (it is
+    expensive to pre-train).
+    """
+    if experiment not in _EXPERIMENTS:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    runner, formatter, needs_fpe = _EXPERIMENTS[experiment]
+    kwargs: dict = {"seed": seed}
+    if datasets:
+        if experiment not in _DATASET_EXPERIMENTS:
+            raise ValueError(f"--datasets is not supported by {experiment}")
+        kwargs["datasets"] = list(datasets)
+    if methods:
+        registry = searcher_registry()
+        unknown = [m for m in methods if m not in registry]
+        if unknown:
+            raise ValueError(
+                f"unknown methods {unknown}; see `python -m repro.bench"
+                " methods`"
+            )
+        if experiment not in _METHOD_EXPERIMENTS:
+            raise ValueError(f"--methods is not supported by {experiment}")
+        kwargs["methods"] = list(methods)
+    return runner, formatter, kwargs, needs_fpe
 
 
 def run_report(seed: int, out_path: str | None) -> int:
@@ -139,10 +188,42 @@ def main(argv: list[str] | None = None) -> int:
         help="replay (dataset, method, seed) cells already completed "
         "in --store instead of re-running them",
     )
+    parser.add_argument(
+        "--worker",
+        action="store_true",
+        help="run as a fleet worker: claim enqueued cells from --store "
+        "under a heartbeated lease and run them (see python -m "
+        "repro.fleet leader, which enqueues and supervises the sweep)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity in the claim log (default host:pid)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="worker lease TTL in seconds (heartbeats fire at ttl/3)",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="worker mode: stop after claiming this many cells",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="worker mode: keep polling after the queue drains instead "
+        "of exiting",
+    )
     args = parser.parse_args(argv)
 
     if args.resume and not args.store:
         parser.error("--resume requires --store")
+    if args.worker and not args.store:
+        parser.error("--worker requires --store")
     previous_env: dict[str, str | None] = {}
 
     def set_env(name: str, value: str) -> None:
@@ -177,28 +258,50 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment == "report":
             return run_report(args.seed, args.out)
 
-        runner, formatter, needs_fpe = _EXPERIMENTS[args.experiment]
+        if args.worker:
+            # Fleet worker mode: the experiment id is advisory (any
+            # pending cell in the store is claimable — cells are
+            # self-describing); what matters is the shared store.
+            from ..fleet.worker import FleetWorker
+
+            worker = FleetWorker(
+                args.store,
+                worker_id=args.worker_id,
+                lease_ttl=args.lease_ttl,
+                max_cells=args.max_cells,
+                follow=args.follow,
+            )
+            print(
+                f"worker {worker.worker_id} draining {args.store} "
+                f"(lease ttl {args.lease_ttl:g}s)",
+                file=sys.stderr,
+            )
+            stats = worker.run()
+            print(
+                f"worker {stats.worker_id}: claimed={stats.claimed} "
+                f"completed={stats.completed} (replayed={stats.replayed}) "
+                f"failed={stats.failed} lost={stats.lost}",
+                file=sys.stderr,
+            )
+            return 0 if not stats.errors else 1
+
+        try:
+            runner, formatter, kwargs, needs_fpe = build_experiment_call(
+                args.experiment,
+                seed=args.seed,
+                # Preserve the historical CLI contract: a dataset
+                # subset on an experiment without one is ignored, a
+                # method subset errors out.
+                datasets=(
+                    args.datasets
+                    if args.experiment in _DATASET_EXPERIMENTS
+                    else None
+                ),
+                methods=args.methods,
+            )
+        except ValueError as error:
+            parser.error(str(error))
         print(f"profile: {bench_profile()}", file=sys.stderr)
-        kwargs: dict = {"seed": args.seed}
-        if args.datasets and args.experiment in (
-            "table1", "figure1", "table3", "table4", "table5",
-        ):
-            kwargs["datasets"] = args.datasets
-        if args.methods:
-            if args.experiment not in (
-                "table3", "table5", "figure7", "related_work",
-            ):
-                parser.error(
-                    f"--methods is not supported by {args.experiment}"
-                )
-            registry = searcher_registry()
-            unknown = [m for m in args.methods if m not in registry]
-            if unknown:
-                parser.error(
-                    f"unknown methods {unknown}; see "
-                    "`python -m repro.bench methods`"
-                )
-            kwargs["methods"] = args.methods
         if needs_fpe:
             print("pre-training FPE model ...", file=sys.stderr)
             kwargs["fpe"] = default_fpe(seed=args.seed)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from collections.abc import Sequence
 
 from ..api.plan import FeaturePlan, fpe_identity
@@ -50,6 +51,7 @@ __all__ = [
     "run_single",
     "run_methods",
     "format_table",
+    "set_cell_sink",
 ]
 
 #: Table III column order (paper aliases in parentheses).
@@ -155,6 +157,47 @@ def resume_enabled() -> bool:
     return os.environ.get(RUN_RESUME_ENV, "0") != "0"
 
 
+#: When set, :func:`run_single` routes not-yet-completed cells to this
+#: callable instead of fitting them — the fleet leader's enqueue pass.
+_CELL_SINK = None
+
+
+def set_cell_sink(sink):
+    """Install (or clear, with ``None``) the leader's enqueue hook.
+
+    The sink is called as ``sink(task, method, config, fpe,
+    cell_hash)`` for every cell :func:`run_single` would otherwise fit;
+    already-completed cells keep replaying from the store.  Returns
+    the previous sink so callers can restore it (``try/finally``).
+    With a sink installed, :func:`run_single` requires an active run
+    store and performs **zero fits** — experiment code runs unchanged,
+    which is what makes every bench experiment a distributable
+    workload for free.
+    """
+    global _CELL_SINK
+    previous = _CELL_SINK
+    _CELL_SINK = sink
+    return previous
+
+
+def _placeholder_result(task: TabularTask, method: str) -> AFEResult:
+    """The stand-in an enqueue pass returns for a not-yet-run cell.
+
+    Shaped like a real result (every counter present, zeroed) so the
+    experiment's own aggregation code keeps walking the sweep and
+    discovers every cell; the leader discards the pass's output and
+    renders the real tables from the store once the fleet drains.
+    """
+    return AFEResult(
+        dataset=task.name,
+        method=method,
+        task=task.task,
+        base_score=0.0,
+        best_score=0.0,
+        selected_features=[],
+    )
+
+
 def _fpe_token(fpe: FPEModel | None) -> str:
     """FPE identity folded into run-store cell hashes.
 
@@ -177,6 +220,7 @@ def run_single(
     fpe: FPEModel | None = None,
     run_store: RunStore | None = None,
     resume: bool | None = None,
+    owner: str | None = None,
 ) -> AFEResult:
     """Run one (dataset, method, seed) cell, through the run store if active.
 
@@ -189,9 +233,31 @@ def run_single(
 
     Cells are keyed by (dataset, method, seed, config-hash +
     FPE-identity); see :func:`_fpe_token` for what the FPE component
-    does and does not distinguish.
+    does and does not distinguish.  ``owner`` labels this runner in
+    the store's start/finish ownership protocol (two concurrent
+    runners of one cell resolve to one winner); by default each call
+    gets a fresh token.
+
+    With a cell sink installed (:func:`set_cell_sink` — the fleet
+    leader's enqueue pass), cells not yet completed in the store are
+    handed to the sink and a placeholder result is returned: zero
+    fits, every cell discovered.
     """
     store = run_store if run_store is not None else active_run_store()
+    if _CELL_SINK is not None:
+        if store is None:
+            raise RuntimeError(
+                "a fleet enqueue pass needs an active run store "
+                "(--store / REPRO_RUN_STORE)"
+            )
+        cell_hash = f"{config_hash(config)}|fpe:{_fpe_token(fpe)}"
+        payload = store.completed_payload(
+            task.name, method, config.seed, cell_hash
+        )
+        if payload is not None:
+            return AFEResult.from_dict(payload)
+        _CELL_SINK(task, method, config, fpe, cell_hash)
+        return _placeholder_result(task, method)
     if store is None:
         return make_method(method, config, fpe=fpe).fit(task)
     cell_hash = f"{config_hash(config)}|fpe:{_fpe_token(fpe)}"
@@ -202,7 +268,8 @@ def run_single(
         )
         if payload is not None:
             return AFEResult.from_dict(payload)
-    store.start(task.name, method, config.seed, cell_hash)
+    owner = owner or f"pid:{os.getpid()}:{id(config):x}:{time.monotonic_ns():x}"
+    store.start(task.name, method, config.seed, cell_hash, owner=owner)
     engine = make_method(method, config, fpe=fpe)
     result = engine.fit(task)
     payload = result.to_dict(include_matrix=True)
@@ -230,7 +297,8 @@ def run_single(
                 "set portable_plan=False on the searcher to silence",
                 file=sys.stderr,
             )
-    store.finish(task.name, method, config.seed, cell_hash, payload)
+    store.finish(task.name, method, config.seed, cell_hash, payload,
+                 owner=owner)
     return result
 
 

@@ -13,10 +13,15 @@ Two durable layers back the evaluation and bench stacks:
   config-hash) experiment rows with full result payloads, written by
   the bench harness.  ``python -m repro.bench <exp> --store s.db
   --resume`` skips already-completed cells, so a killed sweep continues
-  where it left off.
+  where it left off.  The same rows double as an atomically claimable
+  job queue (``enqueue_cells``/``claim_cell``/``heartbeat``/
+  ``reap_expired`` with lease tokens and bounded retries) — the
+  substrate of the :mod:`repro.fleet` leader/worker bench, where N
+  workers on N hosts drain one sweep concurrently.
 
 ``python -m repro.store stats|vacuum|export <path>`` inspects and
-maintains a store file.
+maintains a store file (``stats --watch`` live-refreshes queue
+progress; ``vacuum`` also prunes expired-lease debris).
 """
 
 from .backends import (
@@ -27,11 +32,13 @@ from .backends import (
     make_eval_backend,
     resolve_store_path,
 )
-from .runs import RunRecord, RunStore, config_hash
+from .runs import ClaimedCell, QueueCell, RunRecord, RunStore, config_hash
 
 __all__ = [
     "CacheBackend",
+    "ClaimedCell",
     "MemoryBackend",
+    "QueueCell",
     "SqliteBackend",
     "WriteThroughBackend",
     "RunRecord",

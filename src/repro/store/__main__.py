@@ -19,6 +19,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from .backends import SqliteBackend
 from .runs import RunStore
@@ -28,13 +29,32 @@ def _stats(path: str) -> dict:
     scores = SqliteBackend(path)
     runs = RunStore(path)
     by_status = runs.counts()
-    return {
+    stats = {
         "path": path,
         "file_bytes": os.path.getsize(path),
         "n_scores": len(scores),
         "n_runs": len(runs),
         "runs_by_status": by_status,
     }
+    queue_counts = runs.queue_counts()
+    if queue_counts:
+        # Fleet queue columns only appear once something was enqueued;
+        # a plain single-process store keeps its historical stats shape.
+        ages = runs.lease_ages()
+        stats["queue"] = {
+            status: queue_counts.get(status, 0)
+            for status in ("pending", "claimed", "running", "completed",
+                           "dead")
+        }
+        stats["queue_depth"] = runs.queue_depth()
+        stats["active_leases"] = {
+            "count": len(ages),
+            "heartbeat_age_seconds": {
+                "min": round(min(ages), 3),
+                "max": round(max(ages), 3),
+            } if ages else None,
+        }
+    return stats
 
 
 def _export(path: str) -> dict:
@@ -192,6 +212,14 @@ def main(argv: list[str] | None = None) -> int:
         help="expression-level diff of exactly two matching plans "
         "(plans mode)",
     )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stats mode: re-print every SECONDS (Ctrl-C to stop; exits "
+        "on its own once the fleet queue drains)",
+    )
     args = parser.parse_args(argv)
 
     # Inspection must never create state: a typo'd path errors out
@@ -201,8 +229,15 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.command == "stats":
-        print(json.dumps(_stats(args.path), indent=2))
-        return 0
+        if args.watch is None:
+            print(json.dumps(_stats(args.path), indent=2))
+            return 0
+        runs = RunStore(args.path)
+        while True:
+            print(json.dumps(_stats(args.path), indent=2), flush=True)
+            if not runs.queue_counts() or runs.queue_depth() == 0:
+                return 0
+            time.sleep(args.watch)
     if args.command == "plans":
         return _plans(
             args.path,
@@ -215,8 +250,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "vacuum":
         before = os.path.getsize(args.path)
+        # Resolve expired-lease debris (zombie claims from dead
+        # workers) before compacting, so a crashed fleet leaves no
+        # permanently "claimed" cells behind.
+        debris = RunStore(args.path).prune_queue_debris()
         SqliteBackend(args.path).vacuum()
         after = os.path.getsize(args.path)
+        if debris["reaped"] or debris["orphan_claims"]:
+            print(
+                f"queue debris: {debris['reaped']} expired leases reaped, "
+                f"{debris['orphan_claims']} orphan claims resolved"
+            )
         print(f"vacuumed {args.path}: {before} -> {after} bytes")
         return 0
     document = json.dumps(_export(args.path), indent=2)

@@ -137,8 +137,15 @@ class SqliteConnectionOwner:
         connection.execute("PRAGMA journal_mode=WAL")
         connection.execute("PRAGMA synchronous=NORMAL")
         connection.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
-        connection.execute(self._SCHEMA)
+        # executescript, not execute: an owner's schema may hold several
+        # CREATE TABLE statements (the run store adds queue tables).
+        connection.executescript(self._SCHEMA)
+        self._migrate(connection)
         return connection
+
+    def _migrate(self, connection: sqlite3.Connection) -> None:
+        """Upgrade pre-existing tables (``CREATE IF NOT EXISTS`` only
+        covers new files); subclasses override."""
 
     def _connection(self) -> sqlite3.Connection:
         if os.getpid() != self._pid:

@@ -1,4 +1,4 @@
-"""Persistent experiment rows with resume semantics.
+"""Persistent experiment rows with resume semantics and a job queue.
 
 The bench harness runs sweeps shaped like (dataset × method × seed);
 a paper-profile sweep takes hours, and a killed process used to throw
@@ -13,6 +13,19 @@ config hash covers every :class:`~repro.core.engine.EngineConfig`
 field *except* the seed (the seed is its own axis), so changing any
 hyperparameter invalidates old rows instead of silently replaying
 results produced under different settings.
+
+On top of the result rows, the same store doubles as an **atomically
+claimable cell queue** for the :mod:`repro.fleet` leader/worker bench:
+:meth:`RunStore.enqueue_cells` inserts pending cells carrying a
+self-describing work spec, N workers on N hosts :meth:`claim_cell`
+them under a lease token with a TTL, :meth:`heartbeat` extends a live
+lease, and a leader :meth:`reap_expired` re-queues the cells of dead
+workers (dead-lettering after ``max_retries``).  Every queue
+transition runs inside one ``BEGIN IMMEDIATE`` SQLite transaction —
+the write lock is taken before the candidate row is read, so two
+concurrent workers can never claim the same cell.  A ``queue_claims``
+audit log records every claim and its outcome, which is how tests and
+CI prove no cell ever ran twice.
 """
 
 from __future__ import annotations
@@ -20,12 +33,21 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from .backends import SqliteConnectionOwner
 
-__all__ = ["RunRecord", "RunStore", "config_hash"]
+__all__ = [
+    "ClaimedCell",
+    "QueueCell",
+    "RunRecord",
+    "RunStore",
+    "config_hash",
+]
 
 #: Environment variables the bench harness reads (set by ``--store`` /
 #: ``--resume`` on ``python -m repro.bench``).
@@ -80,6 +102,54 @@ class RunRecord:
     updated_at: float | None = None
 
 
+@dataclass(frozen=True)
+class QueueCell:
+    """One queue row (fleet bookkeeping view, no work spec)."""
+
+    dataset: str
+    method: str
+    seed: int
+    config_hash: str
+    status: str  # pending | claimed | running | completed | dead
+    worker_id: str | None
+    lease_expires: float | None
+    heartbeat_at: float | None
+    retries: int
+    max_retries: int
+    claim_count: int
+    last_error: str | None
+    enqueued_at: float
+    updated_at: float
+
+    @property
+    def key(self) -> tuple[str, str, int, str]:
+        return (self.dataset, self.method, self.seed, self.config_hash)
+
+
+@dataclass(frozen=True)
+class ClaimedCell:
+    """A successfully claimed cell: the work spec plus the lease token.
+
+    The ``token`` authenticates every follow-up call (``heartbeat``,
+    ``complete_cell``, ``fail_cell``, ``release_cell``): once a lease
+    is reaped, the stale token stops matching and the zombie worker's
+    writes become no-ops.
+    """
+
+    dataset: str
+    method: str
+    seed: int
+    config_hash: str
+    spec: str  # JSON work spec (see repro.fleet.spec.CellSpec)
+    token: str
+    retries: int
+    lease_expires: float
+
+    @property
+    def key(self) -> tuple[str, str, int, str]:
+        return (self.dataset, self.method, self.seed, self.config_hash)
+
+
 class RunStore(SqliteConnectionOwner):
     """Durable (dataset, method, seed, config) → result rows.
 
@@ -103,23 +173,124 @@ class RunStore(SqliteConnectionOwner):
         wall_time     REAL,
         payload       TEXT,
         updated_at    REAL NOT NULL,
+        owner         TEXT,
         PRIMARY KEY (dataset, method, seed, config_hash)
-    )
+    );
+    CREATE TABLE IF NOT EXISTS queue_cells (
+        dataset       TEXT NOT NULL,
+        method        TEXT NOT NULL,
+        seed          INTEGER NOT NULL,
+        config_hash   TEXT NOT NULL,
+        status        TEXT NOT NULL DEFAULT 'pending',
+        spec          TEXT NOT NULL,
+        worker_id     TEXT,
+        lease_token   TEXT,
+        lease_expires REAL,
+        heartbeat_at  REAL,
+        retries       INTEGER NOT NULL DEFAULT 0,
+        max_retries   INTEGER NOT NULL DEFAULT 3,
+        claim_count   INTEGER NOT NULL DEFAULT 0,
+        last_error    TEXT,
+        enqueued_at   REAL NOT NULL,
+        updated_at    REAL NOT NULL,
+        PRIMARY KEY (dataset, method, seed, config_hash)
+    );
+    CREATE TABLE IF NOT EXISTS queue_claims (
+        claim_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        dataset      TEXT NOT NULL,
+        method       TEXT NOT NULL,
+        seed         INTEGER NOT NULL,
+        config_hash  TEXT NOT NULL,
+        worker_id    TEXT NOT NULL,
+        lease_token  TEXT NOT NULL,
+        claimed_at   REAL NOT NULL,
+        outcome      TEXT,
+        resolved_at  REAL
+    );
     """
+
+    #: A ``running`` runs-row older than this is presumed dead and may
+    #: be taken over by a new starter (see :meth:`start`).
+    DEFAULT_STALE_AFTER = 300.0
+
+    def _migrate(self, connection) -> None:
+        # Stores created before the fleet PR lack the owner column
+        # (CREATE TABLE IF NOT EXISTS never alters existing tables).
+        columns = {
+            row[1] for row in connection.execute("PRAGMA table_info(runs)")
+        }
+        if "owner" not in columns:
+            connection.execute("ALTER TABLE runs ADD COLUMN owner TEXT")
+
+    @contextmanager
+    def _txn(self):
+        """One write transaction holding the lock from the first read.
+
+        ``BEGIN IMMEDIATE`` acquires SQLite's write lock up front, so a
+        read-then-update sequence (claiming, reaping, retry counting)
+        is atomic against every other store connection — concurrent
+        writers queue behind the busy timeout instead of interleaving.
+        """
+        connection = self._connection()
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            yield connection
+        except BaseException:
+            connection.execute("ROLLBACK")
+            raise
+        else:
+            connection.execute("COMMIT")
 
     # -- writing -----------------------------------------------------------
     def start(
-        self, dataset: str, method: str, seed: int, config_hash: str
-    ) -> None:
-        """Mark a cell ``running`` (no-op if it already completed)."""
-        self._connection().execute(
-            "INSERT INTO runs (dataset, method, seed, config_hash, status,"
-            " updated_at) VALUES (?, ?, ?, ?, 'running', ?) "
-            "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE SET "
-            "updated_at = excluded.updated_at "
-            "WHERE runs.status != 'completed'",
-            (dataset, method, seed, config_hash, time.time()),
+        self,
+        dataset: str,
+        method: str,
+        seed: int,
+        config_hash: str,
+        owner: str | None = None,
+        stale_after: float | None = None,
+    ) -> bool:
+        """Mark a cell ``running``; return True iff this caller owns it.
+
+        Two processes starting the same cell concurrently resolve to
+        one winner: the first transitions the row to ``running`` under
+        its owner token, the second's upsert is filtered out by the
+        ``ON CONFLICT ... WHERE`` clause and returns False.  A loser
+        may still run (results are deterministic) but its
+        :meth:`finish` will defer to a live winner.  Ownership is
+        reclaimable: completed cells can be re-started (that is what
+        a non-resume re-run does) — the caller takes ownership but the
+        stored payload stays readable until :meth:`finish` overwrites
+        it — and a ``running`` row whose ``updated_at`` is older than
+        ``stale_after`` seconds is presumed abandoned by a killed
+        process.
+        """
+        owner = owner or f"pid:{os.getpid()}"
+        cutoff = time.time() - (
+            self.DEFAULT_STALE_AFTER if stale_after is None else stale_after
         )
+        with self._txn() as connection:
+            connection.execute(
+                "INSERT INTO runs (dataset, method, seed, config_hash,"
+                " status, owner, updated_at)"
+                " VALUES (?, ?, ?, ?, 'running', ?, ?) "
+                "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE"
+                " SET status = CASE WHEN runs.status = 'completed'"
+                "   THEN 'completed' ELSE 'running' END,"
+                " owner = excluded.owner,"
+                " updated_at = excluded.updated_at "
+                "WHERE runs.status != 'running' OR runs.owner IS NULL"
+                " OR runs.owner = excluded.owner OR runs.updated_at < ?",
+                (dataset, method, seed, config_hash, owner, time.time(),
+                 cutoff),
+            )
+            row = connection.execute(
+                "SELECT owner FROM runs WHERE dataset = ? AND method = ?"
+                " AND seed = ? AND config_hash = ?",
+                (dataset, method, seed, config_hash),
+            ).fetchone()
+        return row is not None and row[0] == owner
 
     def finish(
         self,
@@ -128,34 +299,62 @@ class RunStore(SqliteConnectionOwner):
         seed: int,
         config_hash: str,
         payload: dict,
-    ) -> None:
-        """Store a completed cell's full result payload plus metrics."""
-        self._connection().execute(
-            "INSERT INTO runs (dataset, method, seed, config_hash, status,"
-            " best_score, n_evaluations, n_cache_hits, n_cache_misses,"
-            " wall_time, payload, updated_at)"
-            " VALUES (?, ?, ?, ?, 'completed', ?, ?, ?, ?, ?, ?, ?) "
-            "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE SET "
-            "status = 'completed', best_score = excluded.best_score, "
-            "n_evaluations = excluded.n_evaluations, "
-            "n_cache_hits = excluded.n_cache_hits, "
-            "n_cache_misses = excluded.n_cache_misses, "
-            "wall_time = excluded.wall_time, payload = excluded.payload, "
-            "updated_at = excluded.updated_at",
-            (
-                dataset,
-                method,
-                seed,
-                config_hash,
-                payload.get("best_score"),
-                payload.get("n_downstream_evaluations"),
-                payload.get("n_cache_hits"),
-                payload.get("n_cache_misses"),
-                payload.get("wall_time"),
-                json.dumps(payload),
-                time.time(),
-            ),
+        owner: str | None = None,
+        stale_after: float | None = None,
+    ) -> bool:
+        """Store a completed cell's full result payload plus metrics.
+
+        Without ``owner`` the write is unconditional (legacy
+        last-writer-wins).  With one, the write defers to a *different*
+        owner actively running the cell (fresh ``updated_at``): the
+        loser of a concurrent :meth:`start` race returns False here and
+        the winner's payload is the one that lands.  Completed rows and
+        stale running rows are always overwritable.
+        """
+        cutoff = time.time() - (
+            self.DEFAULT_STALE_AFTER if stale_after is None else stale_after
         )
+        guard = ""
+        parameters: list = [
+            dataset,
+            method,
+            seed,
+            config_hash,
+            payload.get("best_score"),
+            payload.get("n_downstream_evaluations"),
+            payload.get("n_cache_hits"),
+            payload.get("n_cache_misses"),
+            payload.get("wall_time"),
+            json.dumps(payload),
+            time.time(),
+            owner,
+        ]
+        if owner is not None:
+            guard = (
+                " WHERE runs.status != 'running' OR runs.owner IS NULL"
+                " OR runs.owner = excluded.owner OR runs.updated_at < ?"
+            )
+            parameters.append(cutoff)
+        with self._txn() as connection:
+            connection.execute(
+                "INSERT INTO runs (dataset, method, seed, config_hash,"
+                " status, best_score, n_evaluations, n_cache_hits,"
+                " n_cache_misses, wall_time, payload, updated_at, owner)"
+                " VALUES (?, ?, ?, ?, 'completed', ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(dataset, method, seed, config_hash) DO UPDATE"
+                " SET status = 'completed',"
+                " best_score = excluded.best_score,"
+                " n_evaluations = excluded.n_evaluations,"
+                " n_cache_hits = excluded.n_cache_hits,"
+                " n_cache_misses = excluded.n_cache_misses,"
+                " wall_time = excluded.wall_time,"
+                " payload = excluded.payload,"
+                " updated_at = excluded.updated_at,"
+                " owner = excluded.owner" + guard,
+                parameters,
+            )
+            changed = connection.execute("SELECT changes()").fetchone()[0]
+        return bool(changed)
 
     # -- reading -----------------------------------------------------------
     def completed_payload(
@@ -286,3 +485,372 @@ class RunStore(SqliteConnectionOwner):
     def clear(self) -> None:
         """Drop every run row."""
         self._connection().execute("DELETE FROM runs")
+
+    # -- fleet queue: enqueue ---------------------------------------------
+    def enqueue_cells(
+        self,
+        cells: list[tuple[str, str, int, str, str]],
+        max_retries: int = 3,
+        requeue_dead: bool = False,
+    ) -> int:
+        """Insert pending queue cells; returns how many are new.
+
+        Each cell is ``(dataset, method, seed, config_hash, spec)``
+        where ``spec`` is the self-describing JSON work document a
+        worker materializes (see :mod:`repro.fleet.spec`).  Enqueueing
+        is idempotent: cells already pending, claimed, running, or
+        completed are left untouched, so a leader may re-enqueue the
+        same sweep at any time.  ``requeue_dead`` additionally revives
+        dead-lettered cells with a fresh retry budget; revived cells
+        count toward the return value (they are newly pending).
+        """
+        if max_retries < 1:
+            raise ValueError("max_retries must be positive")
+        now = time.time()
+        inserted = 0
+        with self._txn() as connection:
+            for dataset, method, seed, cell_hash, spec in cells:
+                connection.execute(
+                    "INSERT INTO queue_cells (dataset, method, seed,"
+                    " config_hash, status, spec, max_retries, enqueued_at,"
+                    " updated_at) VALUES (?, ?, ?, ?, 'pending', ?, ?, ?, ?)"
+                    " ON CONFLICT(dataset, method, seed, config_hash)"
+                    " DO NOTHING",
+                    (dataset, method, seed, cell_hash, spec, max_retries,
+                     now, now),
+                )
+                inserted += connection.execute(
+                    "SELECT changes()"
+                ).fetchone()[0]
+                if requeue_dead:
+                    connection.execute(
+                        "UPDATE queue_cells SET status = 'pending',"
+                        " retries = 0, last_error = NULL, worker_id = NULL,"
+                        " lease_token = NULL, lease_expires = NULL,"
+                        " heartbeat_at = NULL, max_retries = ?,"
+                        " updated_at = ?"
+                        " WHERE dataset = ? AND method = ? AND seed = ?"
+                        " AND config_hash = ? AND status = 'dead'",
+                        (max_retries, now, dataset, method, seed, cell_hash),
+                    )
+                    inserted += connection.execute(
+                        "SELECT changes()"
+                    ).fetchone()[0]
+        return inserted
+
+    # -- fleet queue: worker protocol -------------------------------------
+    def claim_cell(
+        self, worker_id: str, lease_ttl: float = 60.0
+    ) -> ClaimedCell | None:
+        """Atomically claim the oldest pending cell, or ``None``.
+
+        The claim runs in one immediate transaction: the write lock is
+        held before the candidate row is read, so concurrent workers
+        serialize and never double-claim.  The returned lease expires
+        ``lease_ttl`` seconds from now unless extended by
+        :meth:`heartbeat`; an expired lease is re-queued by
+        :meth:`reap_expired` (the leader's watchdog).
+        """
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        now = time.time()
+        token = uuid.uuid4().hex
+        expires = now + lease_ttl
+        with self._txn() as connection:
+            row = connection.execute(
+                "SELECT dataset, method, seed, config_hash, spec, retries"
+                " FROM queue_cells WHERE status = 'pending'"
+                " ORDER BY enqueued_at, dataset, method, seed LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            dataset, method, seed, cell_hash, spec, retries = row
+            connection.execute(
+                "UPDATE queue_cells SET status = 'claimed', worker_id = ?,"
+                " lease_token = ?, lease_expires = ?, heartbeat_at = ?,"
+                " claim_count = claim_count + 1, updated_at = ?"
+                " WHERE dataset = ? AND method = ? AND seed = ?"
+                " AND config_hash = ?",
+                (worker_id, token, expires, now, now, dataset, method, seed,
+                 cell_hash),
+            )
+            connection.execute(
+                "INSERT INTO queue_claims (dataset, method, seed,"
+                " config_hash, worker_id, lease_token, claimed_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (dataset, method, seed, cell_hash, worker_id, token, now),
+            )
+        return ClaimedCell(
+            dataset=dataset,
+            method=method,
+            seed=seed,
+            config_hash=cell_hash,
+            spec=spec,
+            token=token,
+            retries=retries,
+            lease_expires=expires,
+        )
+
+    def mark_running(self, token: str) -> bool:
+        """Transition a claimed cell to ``running`` (work has begun)."""
+        self._connection().execute(
+            "UPDATE queue_cells SET status = 'running', updated_at = ?"
+            " WHERE lease_token = ? AND status = 'claimed'",
+            (time.time(), token),
+        )
+        return bool(
+            self._connection().execute("SELECT changes()").fetchone()[0]
+        )
+
+    def heartbeat(self, token: str, lease_ttl: float = 60.0) -> bool:
+        """Extend a live lease; False means the lease was reaped.
+
+        A worker whose heartbeat returns False has lost the cell (the
+        leader presumed it dead and re-queued the work); it should
+        abandon the cell — its completion token no longer matches, so
+        any late write is a no-op.
+        """
+        now = time.time()
+        self._connection().execute(
+            "UPDATE queue_cells SET heartbeat_at = ?, lease_expires = ?"
+            " WHERE lease_token = ? AND status IN ('claimed', 'running')",
+            (now, now + lease_ttl, token),
+        )
+        return bool(
+            self._connection().execute("SELECT changes()").fetchone()[0]
+        )
+
+    def complete_cell(self, token: str) -> bool:
+        """Mark a leased cell completed; False on a stale token."""
+        now = time.time()
+        with self._txn() as connection:
+            connection.execute(
+                "UPDATE queue_cells SET status = 'completed',"
+                " worker_id = NULL, lease_token = NULL,"
+                " lease_expires = NULL, updated_at = ?"
+                " WHERE lease_token = ? AND status IN ('claimed', 'running')",
+                (now, token),
+            )
+            changed = connection.execute("SELECT changes()").fetchone()[0]
+            if changed:
+                connection.execute(
+                    "UPDATE queue_claims SET outcome = 'completed',"
+                    " resolved_at = ? WHERE lease_token = ?"
+                    " AND outcome IS NULL",
+                    (now, token),
+                )
+        return bool(changed)
+
+    def release_cell(self, token: str) -> bool:
+        """Return a leased cell to pending without charging a retry."""
+        now = time.time()
+        with self._txn() as connection:
+            connection.execute(
+                "UPDATE queue_cells SET status = 'pending',"
+                " worker_id = NULL, lease_token = NULL,"
+                " lease_expires = NULL, heartbeat_at = NULL, updated_at = ?"
+                " WHERE lease_token = ? AND status IN ('claimed', 'running')",
+                (now, token),
+            )
+            changed = connection.execute("SELECT changes()").fetchone()[0]
+            if changed:
+                connection.execute(
+                    "UPDATE queue_claims SET outcome = 'released',"
+                    " resolved_at = ? WHERE lease_token = ?"
+                    " AND outcome IS NULL",
+                    (now, token),
+                )
+        return bool(changed)
+
+    def fail_cell(self, token: str, error: str | None = None) -> bool:
+        """Charge a failed attempt: re-queue, or dead-letter when the
+        retry budget (``max_retries`` attempts in total) is spent."""
+        now = time.time()
+        with self._txn() as connection:
+            row = connection.execute(
+                "SELECT retries, max_retries FROM queue_cells"
+                " WHERE lease_token = ? AND status IN ('claimed', 'running')",
+                (token,),
+            ).fetchone()
+            if row is None:
+                return False
+            retries = row[0] + 1
+            status = "dead" if retries >= row[1] else "pending"
+            connection.execute(
+                "UPDATE queue_cells SET status = ?, retries = ?,"
+                " last_error = ?, worker_id = NULL, lease_token = NULL,"
+                " lease_expires = NULL, heartbeat_at = NULL, updated_at = ?"
+                " WHERE lease_token = ?",
+                (status, retries, error, now, token),
+            )
+            connection.execute(
+                "UPDATE queue_claims SET outcome = 'failed', resolved_at = ?"
+                " WHERE lease_token = ? AND outcome IS NULL",
+                (now, token),
+            )
+        return True
+
+    # -- fleet queue: leader protocol -------------------------------------
+    def reap_expired(self, now: float | None = None) -> list[QueueCell]:
+        """Re-queue (or dead-letter) every cell with an expired lease.
+
+        The leader's watchdog calls this periodically: cells whose
+        worker stopped heartbeating past the lease TTL are presumed
+        dead, charged one retry, and made claimable again — or
+        dead-lettered once ``max_retries`` attempts are spent.  Returns
+        the reaped cells (post-transition state) so callers can log
+        exactly what was re-queued.  Safe to call concurrently: the
+        whole sweep is one immediate transaction, so each expired lease
+        is reaped exactly once.
+        """
+        now = time.time() if now is None else now
+        reaped: list[QueueCell] = []
+        with self._txn() as connection:
+            rows = connection.execute(
+                "SELECT dataset, method, seed, config_hash, lease_token,"
+                " retries, max_retries FROM queue_cells"
+                " WHERE status IN ('claimed', 'running')"
+                " AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            for dataset, method, seed, cell_hash, token, retries, cap in rows:
+                retries += 1
+                status = "dead" if retries >= cap else "pending"
+                connection.execute(
+                    "UPDATE queue_cells SET status = ?, retries = ?,"
+                    " last_error = COALESCE(last_error, 'lease expired'),"
+                    " worker_id = NULL, lease_token = NULL,"
+                    " lease_expires = NULL, heartbeat_at = NULL,"
+                    " updated_at = ?"
+                    " WHERE dataset = ? AND method = ? AND seed = ?"
+                    " AND config_hash = ?",
+                    (status, retries, now, dataset, method, seed, cell_hash),
+                )
+                connection.execute(
+                    "UPDATE queue_claims SET outcome = 'expired',"
+                    " resolved_at = ? WHERE lease_token = ?"
+                    " AND outcome IS NULL",
+                    (now, token),
+                )
+                reaped.append(
+                    self._queue_cell(connection, dataset, method, seed,
+                                     cell_hash)
+                )
+        return reaped
+
+    def prune_queue_debris(self, now: float | None = None) -> dict[str, int]:
+        """Maintenance sweep: reap expired leases, close orphan claims.
+
+        Called by ``python -m repro.store vacuum``.  Returns counts of
+        what was cleaned: ``reaped`` expired leases (re-queued or
+        dead-lettered) and ``orphan_claims`` — open audit rows whose
+        lease token no longer matches any live cell (debris left by
+        processes killed between claiming and resolving).
+        """
+        now = time.time() if now is None else now
+        reaped = len(self.reap_expired(now))
+        with self._txn() as connection:
+            connection.execute(
+                "UPDATE queue_claims SET outcome = 'expired',"
+                " resolved_at = ? WHERE outcome IS NULL AND lease_token"
+                " NOT IN (SELECT lease_token FROM queue_cells"
+                "         WHERE lease_token IS NOT NULL)",
+                (now,),
+            )
+            orphans = connection.execute("SELECT changes()").fetchone()[0]
+        return {"reaped": reaped, "orphan_claims": int(orphans)}
+
+    # -- fleet queue: introspection ---------------------------------------
+    def _queue_cell(
+        self, connection, dataset: str, method: str, seed: int,
+        cell_hash: str,
+    ) -> QueueCell:
+        row = connection.execute(
+            "SELECT dataset, method, seed, config_hash, status, worker_id,"
+            " lease_expires, heartbeat_at, retries, max_retries,"
+            " claim_count, last_error, enqueued_at, updated_at"
+            " FROM queue_cells WHERE dataset = ? AND method = ? AND"
+            " seed = ? AND config_hash = ?",
+            (dataset, method, seed, cell_hash),
+        ).fetchone()
+        return QueueCell(*row)
+
+    def queue_cells(self, status: str | None = None) -> list[QueueCell]:
+        """Every queue row (optionally filtered by status)."""
+        query = (
+            "SELECT dataset, method, seed, config_hash, status, worker_id,"
+            " lease_expires, heartbeat_at, retries, max_retries,"
+            " claim_count, last_error, enqueued_at, updated_at"
+            " FROM queue_cells"
+        )
+        parameters: tuple = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            parameters = (status,)
+        query += " ORDER BY enqueued_at, dataset, method, seed"
+        return [
+            QueueCell(*row)
+            for row in self._connection().execute(query, parameters)
+        ]
+
+    def queue_counts(self) -> dict[str, int]:
+        """Queue rows by status, e.g. ``{"pending": 3, "claimed": 2}``."""
+        return {
+            status: int(count)
+            for status, count in self._connection().execute(
+                "SELECT status, COUNT(*) FROM queue_cells GROUP BY status"
+            )
+        }
+
+    def queue_depth(self) -> int:
+        """Cells still owed work: pending + claimed + running."""
+        row = self._connection().execute(
+            "SELECT COUNT(*) FROM queue_cells"
+            " WHERE status IN ('pending', 'claimed', 'running')"
+        ).fetchone()
+        return int(row[0])
+
+    def lease_ages(self, now: float | None = None) -> list[float]:
+        """Seconds since the last heartbeat of every active lease."""
+        now = time.time() if now is None else now
+        return [
+            now - heartbeat
+            for (heartbeat,) in self._connection().execute(
+                "SELECT heartbeat_at FROM queue_cells"
+                " WHERE status IN ('claimed', 'running')"
+                " AND heartbeat_at IS NOT NULL"
+            )
+        ]
+
+    def claim_log(self) -> list[dict]:
+        """The full claim audit trail, oldest first.
+
+        One row per successful :meth:`claim_cell`; ``outcome`` is
+        ``None`` while the lease is live, else one of ``completed``,
+        ``failed``, ``released``, ``expired``.  CI's multi-worker smoke
+        asserts every completed cell appears here exactly once with
+        outcome ``completed``.
+        """
+        return [
+            {
+                "dataset": row[0],
+                "method": row[1],
+                "seed": row[2],
+                "config_hash": row[3],
+                "worker_id": row[4],
+                "claimed_at": row[5],
+                "outcome": row[6],
+                "resolved_at": row[7],
+            }
+            for row in self._connection().execute(
+                "SELECT dataset, method, seed, config_hash, worker_id,"
+                " claimed_at, outcome, resolved_at FROM queue_claims"
+                " ORDER BY claim_id"
+            )
+        ]
+
+    def clear_queue(self) -> None:
+        """Drop every queue cell and claim-log row."""
+        with self._txn() as connection:
+            connection.execute("DELETE FROM queue_cells")
+            connection.execute("DELETE FROM queue_claims")

@@ -65,3 +65,40 @@ class TestCLI:
             "REPRO_RUN_STORE", "REPRO_RUN_RESUME", "REPRO_EVAL_STORE",
         ):
             assert variable not in os.environ
+
+
+class TestWorkerMode:
+    def test_worker_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--worker"])
+
+    def test_worker_drains_enqueued_cells(self, tmp_path, capsys):
+        from repro.bench.harness import bench_config
+        from repro.fleet.spec import CellSpec
+        from repro.datasets import make_classification
+        from repro.store import RunStore, config_hash
+
+        path = str(tmp_path / "fleet.db")
+        store = RunStore(path)
+        task = make_classification(
+            name="cli-cell", n_samples=60, n_features=3, seed=0
+        )
+        config = bench_config(seed=0)
+        cell_hash = f"{config_hash(config)}|fpe:none"
+        spec = CellSpec.build(task, "NFS", config, None, cell_hash)
+        store.enqueue_cells([(task.name, "NFS", 0, cell_hash, spec.to_json())])
+        assert main(
+            ["table1", "--store", path, "--worker", "--worker-id", "cli-w0"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "claimed=1 completed=1" in err
+        assert store.queue_counts() == {"completed": 1}
+        assert store.completed_payload(task.name, "NFS", 0, cell_hash)
+
+    def test_worker_on_empty_queue_exits_cleanly(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.db")
+        from repro.store import RunStore
+
+        RunStore(path)  # materialize the schema
+        assert main(["table1", "--store", path, "--worker"]) == 0
+        assert "claimed=0" in capsys.readouterr().err

@@ -1,0 +1,37 @@
+"""Shared fleet-test helpers: cell fabrication and payload comparison."""
+
+from repro.bench.harness import bench_config
+from repro.datasets import make_classification
+from repro.fleet.spec import CellSpec
+from repro.store import config_hash
+
+#: Payload keys that legitimately differ between two runs of one cell
+#: (wall clocks); everything else must match bitwise.
+_TIMING_KEYS = ("wall_time", "generation_time", "evaluation_time")
+
+
+def canonical(payload):
+    """A payload with its wall-clock fields stripped, for bit-identity
+    comparison between fleet and serial runs of one cell."""
+    clean = {k: v for k, v in payload.items() if k not in _TIMING_KEYS}
+    clean["history"] = [
+        {k: v for k, v in epoch.items() if "elapsed" not in k}
+        for epoch in clean.get("history", [])
+    ]
+    return clean
+
+
+def make_cell(store, seed, method="NFS", dataset_seed=0, max_retries=3):
+    """Enqueue one real, runnable cell; returns (task, config, hash)."""
+    task = make_classification(
+        name=f"fleet-task-{dataset_seed}", n_samples=60, n_features=3,
+        seed=dataset_seed,
+    )
+    config = bench_config(seed=seed)
+    cell_hash = f"{config_hash(config)}|fpe:none"
+    spec = CellSpec.build(task, method, config, None, cell_hash)
+    store.enqueue_cells(
+        [(task.name, method, seed, cell_hash, spec.to_json())],
+        max_retries=max_retries,
+    )
+    return task, config, cell_hash

@@ -1,0 +1,110 @@
+"""Fleet workers: drain, replay, retry, and exactly-once accounting."""
+
+import pytest
+from fleet_helpers import canonical, make_cell
+
+from repro.bench.harness import run_single
+from repro.fleet import FleetWorker
+from repro.store import RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(str(tmp_path / "fleet.db"))
+
+
+class TestWorkerDrain:
+    def test_worker_drains_queue_and_persists_results(self, store):
+        make_cell(store, seed=0)
+        make_cell(store, seed=1)
+        stats = FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        assert stats.claimed == 2
+        assert stats.completed == 2
+        assert stats.failed == 0 and stats.lost == 0
+        assert store.queue_counts() == {"completed": 2}
+        assert store.counts() == {"completed": 2}
+        log = store.claim_log()
+        assert [entry["outcome"] for entry in log] == ["completed"] * 2
+
+    def test_worker_result_is_bit_identical_to_direct_run(self, store, tmp_path):
+        task, config, cell_hash = make_cell(store, seed=0)
+        FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        fleet_payload = store.completed_payload(
+            task.name, "NFS", 0, cell_hash
+        )
+        serial = RunStore(str(tmp_path / "serial.db"))
+        run_single(task, "NFS", config, run_store=serial, resume=False)
+        serial_payload = serial.completed_payload(
+            task.name, "NFS", 0, cell_hash
+        )
+        assert canonical(fleet_payload) == canonical(serial_payload)
+        assert fleet_payload.get("feature_plan") == serial_payload.get(
+            "feature_plan"
+        )
+
+    def test_already_completed_cell_is_replayed_not_refit(self, store):
+        task, config, cell_hash = make_cell(store, seed=0)
+        # The cell finished elsewhere (say a reaped worker that was
+        # actually alive); the claiming worker must replay, not re-fit.
+        run_single(task, "NFS", config, run_store=store, resume=False)
+        before = store.completed_payload(task.name, "NFS", 0, cell_hash)
+        stats = FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        assert stats.completed == 1
+        assert stats.replayed == 1
+        after = store.completed_payload(task.name, "NFS", 0, cell_hash)
+        assert after == before  # byte-for-byte, including wall_time
+
+    def test_max_cells_bounds_the_claim_loop(self, store):
+        for seed in range(3):
+            make_cell(store, seed=seed)
+        stats = FleetWorker(
+            store, worker_id="w0", lease_ttl=30.0, max_cells=1
+        ).run()
+        assert stats.claimed == 1
+        assert store.queue_counts() == {"completed": 1, "pending": 2}
+
+
+class TestWorkerFailure:
+    def test_broken_cell_retries_then_dead_letters(self, store):
+        make_cell(store, seed=0, method="NoSuchMethod", max_retries=2)
+        stats = FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        # The worker itself retried the cell until its budget died.
+        assert stats.claimed == 2
+        assert stats.failed == 2
+        assert len(stats.errors) == 2
+        cell = store.queue_cells()[0]
+        assert (cell.status, cell.retries) == ("dead", 2)
+        assert "NoSuchMethod" in cell.last_error
+        assert store.queue_depth() == 0  # dead cells do not wedge a drain
+        log = store.claim_log()
+        assert [entry["outcome"] for entry in log] == ["failed", "failed"]
+
+    def test_broken_cell_does_not_block_good_ones(self, store):
+        make_cell(store, seed=0, method="NoSuchMethod", max_retries=1)
+        task, _, cell_hash = make_cell(store, seed=1)
+        stats = FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        assert stats.completed == 1
+        assert stats.failed == 1
+        assert store.completed_payload(task.name, "NFS", 1, cell_hash)
+
+    def test_zombie_running_row_is_taken_over(self, store):
+        # A SIGKILLed previous owner leaves a *fresh* 'running' row in
+        # the runs table; the claiming worker must take it over via its
+        # queue lease instead of deferring for the stale window (in
+        # which case the payload would silently never land).
+        task, _, cell_hash = make_cell(store, seed=0)
+        assert store.start(
+            task.name, "NFS", 0, cell_hash, owner="sigkilled-worker"
+        )
+        stats = FleetWorker(store, worker_id="w0", lease_ttl=30.0).run()
+        assert stats.completed == 1
+        assert store.completed_payload(task.name, "NFS", 0, cell_hash)
+
+    def test_run_until_drained_times_out(self, store):
+        # An empty follow-mode worker never exits on its own; the
+        # bounded variant must bring it back.
+        worker = FleetWorker(
+            store, worker_id="w0", poll_interval=0.01, follow=True
+        )
+        stats = worker.run_until_drained(timeout=0.1)
+        assert stats.claimed == 0

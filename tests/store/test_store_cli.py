@@ -46,6 +46,49 @@ class TestStoreCLI:
         assert "vacuumed" in capsys.readouterr().out
         assert SqliteBackend(populated).integrity_ok()
 
+    def test_stats_without_queue_keeps_historical_shape(
+        self, populated, capsys
+    ):
+        assert main(["stats", populated]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "queue" not in stats  # single-process stores stay clean
+
+    def test_stats_reports_fleet_queue(self, populated, capsys):
+        store = RunStore(populated)
+        store.enqueue_cells(
+            [("ds", "NFS", seed, "h", "{}") for seed in range(3)]
+        )
+        store.claim_cell("w0")
+        assert main(["stats", populated]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["queue"] == {
+            "pending": 2, "claimed": 1, "running": 0, "completed": 0,
+            "dead": 0,
+        }
+        assert stats["queue_depth"] == 3
+        assert stats["active_leases"]["count"] == 1
+        ages = stats["active_leases"]["heartbeat_age_seconds"]
+        assert ages["min"] >= 0
+
+    def test_stats_watch_exits_once_queue_drains(self, populated, capsys):
+        store = RunStore(populated)
+        store.enqueue_cells([("ds", "NFS", 0, "h", "{}")])
+        store.complete_cell(store.claim_cell("w0").token)
+        assert main(["stats", populated, "--watch", "0.01"]) == 0
+        assert json.loads(capsys.readouterr().out)  # printed at least once
+
+    def test_vacuum_prunes_expired_lease_debris(self, populated, capsys):
+        import time
+
+        store = RunStore(populated)
+        store.enqueue_cells([("ds", "NFS", 0, "h", "{}")])
+        store.claim_cell("crashed-worker", lease_ttl=0.01)
+        time.sleep(0.05)
+        assert main(["vacuum", populated]) == 0
+        out = capsys.readouterr().out
+        assert "1 expired leases reaped" in out
+        assert store.queue_counts() == {"pending": 1}
+
     def test_missing_file_rejected(self, tmp_path, capsys):
         assert main(["export", str(tmp_path / "absent.db")]) == 1
 
