@@ -42,6 +42,7 @@ from .eval import (
     FeatureMatrixArena,
     PoolExecutor,
 )
+from .fidelity import FidelityController, FidelitySpec, SurrogateGate
 from .store import (
     MemoryBackend,
     RunStore,
@@ -57,7 +58,7 @@ from .api import (
 )
 from .serve import FeaturePipeline, PlanRegistry, TransformService
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AutoFeatureEngineer",
@@ -74,7 +75,10 @@ __all__ = [
     "EvaluationCache",
     "EvaluationService",
     "FeatureMatrixArena",
+    "FidelityController",
+    "FidelitySpec",
     "PoolExecutor",
+    "SurrogateGate",
     "FPEModel",
     "MemoryBackend",
     "RunStore",

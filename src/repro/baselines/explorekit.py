@@ -179,6 +179,7 @@ class ExploreKit:
         result.n_cache_hits = service.n_cache_hits
         result.n_cache_misses = service.n_cache_misses
         result.n_backend_fallbacks = service.stats.n_backend_fallbacks
+        result.absorb_fidelity_stats(service.stats)
         result.wall_time = time.perf_counter() - started
         service.close()  # releases a pool backend's workers, if any
         return result

@@ -143,7 +143,7 @@ class DlThenFe:
                 selected = candidate
         elapsed = time.perf_counter() - started
         service.close()  # releases a pool backend's workers, if any
-        return AFEResult(
+        result = AFEResult(
             dataset=task.name,
             method=self.method_name,
             task=task.task,
@@ -159,3 +159,5 @@ class DlThenFe:
             n_backend_fallbacks=service.stats.n_backend_fallbacks,
             wall_time=elapsed,
         )
+        result.absorb_fidelity_stats(service.stats)
+        return result

@@ -156,7 +156,7 @@ class LFE:
         best_score = max(base_score, final_score)
         elapsed = time.perf_counter() - started
         service.close()  # releases a pool backend's workers, if any
-        return AFEResult(
+        result = AFEResult(
             dataset=task.name,
             method=self.method_name,
             task=task.task,
@@ -175,3 +175,5 @@ class LFE:
             selected_matrix=augmented if final_score >= base_score else matrix,
             wall_time=elapsed,
         )
+        result.absorb_fidelity_stats(service.stats)
+        return result

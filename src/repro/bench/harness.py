@@ -19,7 +19,10 @@ sweep speculation (on by default; a no-op for the other backends).
 Scores are identical across backends, but the ``process`` and ``pool``
 backends prefetch sweeps speculatively, so evaluation-*count* tables
 (Table IV, Figure 9) are paper-comparable only under the default
-``serial`` backend.
+``serial`` backend.  ``REPRO_EVAL_FIDELITY`` (default ``off``) sets
+the multi-fidelity spec — e.g. ``ladder+surrogate`` — and *does*
+change reported scores, so fidelity-on sweeps hash into their own
+run-store cells.
 """
 
 from __future__ import annotations
@@ -115,6 +118,7 @@ def bench_config(seed: int = 0, **overrides) -> EngineConfig:
     params["eval_speculation"] = (
         os.environ.get("REPRO_EVAL_SPECULATION", "1") != "0"
     )
+    params["eval_fidelity"] = os.environ.get("REPRO_EVAL_FIDELITY", "off")
     params.update(overrides)
     return EngineConfig(**params)
 

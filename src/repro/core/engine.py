@@ -73,6 +73,11 @@ class EngineConfig:
     eval_speculation: bool = True  # pipeline the next agent's sweep
     # behind the in-flight one ("pool" backend only; trajectories stay
     # bit-identical to serial — mispredictions are rolled back)
+    eval_fidelity: str = "off"  # multi-fidelity spec, e.g.
+    # "ladder", "surrogate", "ladder+surrogate:promote=0.25,rows=0.5"
+    # (see repro.fidelity.FidelitySpec; REPRO_EVAL_FIDELITY sets it for
+    # benches).  "off" keeps scoring exactly full-CV — bit-identical
+    # trajectories to every PR before the fidelity ladder existed.
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,6 +95,12 @@ class EngineConfig:
                 f"got {self.eval_backend!r}"
             )
         validate_eval_workers(self.eval_workers)
+        # Validate the fidelity spec eagerly (fail at configuration
+        # time, not mid-run).  Lazy import: repro.fidelity sits above
+        # the eval layer this module already pulls in.
+        from ..fidelity import FidelitySpec
+
+        FidelitySpec.parse(self.eval_fidelity)
 
 
 @dataclass
@@ -125,6 +136,12 @@ class AFEResult:
     n_drained_evictions: int = 0  # drained speculative scores dropped (FIFO)
     pool_workers: int = 0  # persistent-pool size (0: other backends)
     pool_peak_inflight: int = 0  # max simultaneously submitted pool tasks
+    n_lowfi_scored: int = 0  # candidates scored at rung 0 of the ladder
+    n_promoted: int = 0  # rung-0 candidates promoted to full CV
+    n_surrogate_served: int = 0  # candidates served with no fit at all
+    n_surrogate_fallbacks: int = 0  # uncertain buckets that paid real CV
+    n_audited: int = 0  # approximate results audited at full CV
+    fidelity_regret: float = 0.0  # mean |full - reported| over audits
     wall_time: float = 0.0
     generation_time: float = 0.0  # time inside feature generation (Table I)
     evaluation_time: float = 0.0  # time inside downstream CV (Table I)
@@ -155,6 +172,20 @@ class AFEResult:
             else 0.0
         )
 
+    def absorb_fidelity_stats(self, stats) -> None:
+        """Copy the multi-fidelity counter family off an ``EvalStats``.
+
+        One helper so the engine and every baseline that scores through
+        :meth:`EvaluationService.from_config` report the ladder /
+        surrogate / audit accounting identically.
+        """
+        self.n_lowfi_scored = stats.n_lowfi_scored
+        self.n_promoted = stats.n_promoted
+        self.n_surrogate_served = stats.n_surrogate_served
+        self.n_surrogate_fallbacks = stats.n_surrogate_fallbacks
+        self.n_audited = stats.n_audited
+        self.fidelity_regret = stats.fidelity_regret
+
     def to_dict(self, include_matrix: bool = False) -> dict:
         """JSON-serializable summary of the run.
 
@@ -182,6 +213,12 @@ class AFEResult:
             "n_drained_evictions": self.n_drained_evictions,
             "pool_workers": self.pool_workers,
             "pool_peak_inflight": self.pool_peak_inflight,
+            "n_lowfi_scored": self.n_lowfi_scored,
+            "n_promoted": self.n_promoted,
+            "n_surrogate_served": self.n_surrogate_served,
+            "n_surrogate_fallbacks": self.n_surrogate_fallbacks,
+            "n_audited": self.n_audited,
+            "fidelity_regret": self.fidelity_regret,
             "pool_occupancy": self.pool_occupancy,
             "cache_hit_rate": self.cache_hit_rate,
             "wall_time": self.wall_time,
@@ -237,6 +274,12 @@ class AFEResult:
             n_drained_evictions=payload.get("n_drained_evictions", 0),
             pool_workers=payload.get("pool_workers", 0),
             pool_peak_inflight=payload.get("pool_peak_inflight", 0),
+            n_lowfi_scored=payload.get("n_lowfi_scored", 0),
+            n_promoted=payload.get("n_promoted", 0),
+            n_surrogate_served=payload.get("n_surrogate_served", 0),
+            n_surrogate_fallbacks=payload.get("n_surrogate_fallbacks", 0),
+            n_audited=payload.get("n_audited", 0),
+            fidelity_regret=payload.get("fidelity_regret", 0.0),
             wall_time=payload.get("wall_time", 0.0),
             generation_time=payload.get("generation_time", 0.0),
             evaluation_time=payload.get("evaluation_time", 0.0),
@@ -604,7 +647,15 @@ class AFEEngine:
         # eagerly — speculating there is pure waste), and only across
         # agents *within* an epoch (the REINFORCE update and episode
         # reset at the epoch boundary are not speculated through).
-        speculate = self.config.eval_speculation and service.backend == "pool"
+        # Mutually exclusive with the fidelity ladder: a fidelity
+        # service resolves submissions eagerly (promotion is a batch
+        # decision), so speculating there would score the next sweep's
+        # whole batch up front instead of filling idle workers.
+        speculate = (
+            self.config.eval_speculation
+            and service.backend == "pool"
+            and service.fidelity is None
+        )
         spec: dict | None = None
         for epoch in range(self.config.n_epochs):
             best_before_epoch = best_score
@@ -789,6 +840,7 @@ class AFEEngine:
         result.n_drained_evictions = service.stats.n_drained_evictions
         result.pool_workers = service.stats.pool_workers
         result.pool_peak_inflight = service.stats.peak_inflight
+        result.absorb_fidelity_stats(service.stats)
         result.wall_time = time.perf_counter() - started
         return result
 

@@ -30,7 +30,8 @@ from .executor import (
     validate_eval_workers,
 )
 from .fingerprint import ColumnFingerprinter, content_digest
-from .folds import FoldCache
+from .folds import FoldCache, subsample_fold_plan
+from .metrics import aggregate_eval_stats, eval_metrics_text
 from .service import (
     BACKENDS,
     EvalStats,
@@ -51,6 +52,9 @@ __all__ = [
     "ScoreFuture",
     "TaskFailed",
     "TaskLost",
+    "aggregate_eval_stats",
     "content_digest",
+    "eval_metrics_text",
+    "subsample_fold_plan",
     "validate_eval_workers",
 ]

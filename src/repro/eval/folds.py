@@ -16,9 +16,58 @@ import numpy as np
 from ..ml.model_selection import plan_folds
 from .fingerprint import content_digest
 
-__all__ = ["FoldCache"]
+__all__ = ["FoldCache", "subsample_fold_plan"]
 
 FoldPlan = tuple[tuple[np.ndarray, np.ndarray], ...]
+
+
+def subsample_fold_plan(
+    plan: FoldPlan,
+    n_folds: int = 1,
+    row_fraction: float = 1.0,
+    seed: int = 0,
+) -> FoldPlan:
+    """Derive a low-fidelity plan from a full fold plan.
+
+    Rung 0 of the fidelity ladder evaluates candidates on the first
+    ``n_folds`` folds of the *full* plan with ``row_fraction`` of each
+    fold's train and test rows kept — so the cheap estimate uses the
+    exact split family the full evaluation will, only less of it.  The
+    subsample is a seeded permutation (deterministic per fold shape and
+    position, independent of candidate content), and surviving indices
+    are re-sorted so row order — which seeded models are sensitive to —
+    matches a genuine smaller fold.  At ``row_fraction=1.0`` the rung
+    is simply plan truncation.
+    """
+    if not plan:
+        raise ValueError("fold plan is empty")
+    folds = plan[: max(1, int(n_folds))]
+    if not 0.0 < row_fraction <= 1.0:
+        raise ValueError("row_fraction must be in (0, 1]")
+    if row_fraction >= 1.0:
+        return tuple(folds)
+    reduced = []
+    for position, (train, test) in enumerate(folds):
+        reduced.append(
+            (
+                _subsample_indices(train, row_fraction, seed, position, 0),
+                _subsample_indices(test, row_fraction, seed, position, 1),
+            )
+        )
+    return tuple(reduced)
+
+
+def _subsample_indices(
+    indices: np.ndarray, fraction: float, seed: int, position: int, side: int
+) -> np.ndarray:
+    """Keep a sorted seeded fraction of one fold side (at least 2 rows)."""
+    indices = np.asarray(indices)
+    keep = max(2, int(round(indices.shape[0] * fraction)))
+    if keep >= indices.shape[0]:
+        return indices
+    rng = np.random.default_rng([int(seed) & 0xFFFFFFFF, position, side])
+    chosen = rng.permutation(indices.shape[0])[:keep]
+    return indices[np.sort(chosen)]
 
 
 class FoldCache:

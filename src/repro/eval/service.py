@@ -119,10 +119,34 @@ class EvalStats:
     #: submissions (dispatched + backlogged).
     pool_workers: int = 0
     peak_inflight: int = 0
+    #: Multi-fidelity accounting (zero unless ``eval_fidelity`` is on).
+    #: Every submission is exactly one of a cache hit, a cache miss, or
+    #: a surrogate serve: ``n_hits + n_misses + n_surrogate_served ==
+    #: submissions`` (the invariant the throughput benchmark asserts).
+    #: ``n_lowfi_scored`` counts misses that paid a rung-0 estimate,
+    #: ``n_promoted`` the subset re-scored at full CV;
+    #: ``n_surrogate_fallbacks`` counts candidates whose sketch bucket
+    #: was known but too uncertain to serve, so they fell back to a
+    #: real evaluation.  ``n_audited`` approximate results additionally
+    #: paid a full-CV fit whose absolute delta against the reported
+    #: score accumulates in ``fidelity_regret_total``.
+    n_lowfi_scored: int = 0
+    n_promoted: int = 0
+    n_surrogate_served: int = 0
+    n_surrogate_fallbacks: int = 0
+    n_audited: int = 0
+    fidelity_regret_total: float = 0.0
 
     @property
     def n_lookups(self) -> int:
         return self.n_hits + self.n_misses
+
+    @property
+    def fidelity_regret(self) -> float:
+        """Mean |full-CV − reported| over audited approximate results."""
+        if not self.n_audited:
+            return 0.0
+        return self.fidelity_regret_total / self.n_audited
 
     @property
     def pool_occupancy(self) -> float:
@@ -290,6 +314,14 @@ class EvaluationService:
         persistent ``pool`` backend amortizes startup and defaults to
         every core.  The ``REPRO_EVAL_WORKERS`` environment variable
         overrides either default; this parameter overrides both.
+    fidelity:
+        Optional :class:`~repro.fidelity.FidelityController`.  When
+        set, batch scoring routes through the multi-fidelity ladder /
+        surrogate gate (and the streaming entry points fall back to
+        batch semantics, since promotion is a batch decision).  When
+        ``None`` — the default — every code path is exactly the
+        full-CV implementation, bit-identical to a service built
+        before the fidelity subsystem existed.
     """
 
     def __init__(
@@ -299,18 +331,22 @@ class EvaluationService:
         backend: str = "serial",
         n_workers: int | None = None,
         fold_cache: FoldCache | None = None,
+        fidelity=None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
         from .executor import validate_eval_workers
+        from .metrics import register_service
 
         self.evaluator = evaluator
         self.cache = cache
         self.backend = backend
         self.n_workers = validate_eval_workers(n_workers, name="n_workers")
+        self.fidelity = fidelity
         self.stats = EvalStats()
+        register_service(self)
         self._folds = fold_cache or FoldCache()
         self._fingerprinter = ColumnFingerprinter(seed=evaluator.seed)
         params = evaluator.params()
@@ -349,13 +385,25 @@ class EvaluationService:
 
         ``cache`` is the caller-owned store (pass ``None`` to force
         memoization off regardless of the config); ``config.eval_cache``
-        still gates whether it is used.
+        still gates whether it is used.  ``config.eval_fidelity`` (when
+        the config carries one and it is not ``"off"``) installs the
+        multi-fidelity controller, so the engine and every baseline
+        that builds its service here gets the ladder from one knob.
         """
+        fidelity = None
+        spec = getattr(config, "eval_fidelity", None)
+        if spec is not None:
+            # Imported lazily: repro.fidelity imports eval.folds, so a
+            # module-level import here would be a cycle.
+            from ..fidelity import make_fidelity
+
+            fidelity = make_fidelity(spec, seed=getattr(config, "seed", 0))
         return cls(
             evaluator,
             cache=cache if config.eval_cache else None,
             backend=config.eval_backend,
             n_workers=config.eval_workers,
+            fidelity=fidelity,
         )
 
     # -- accounting ---------------------------------------------------------
@@ -645,6 +693,15 @@ class EvaluationService:
         base = np.asarray(base, dtype=np.float64)
         token = base_token if base_token is not None else self.token(base)
         target_token = self._target_token(y)
+        if self.fidelity is not None:
+            # Multi-fidelity path: the controller owns lookup order,
+            # promotion, surrogate gating, audits, and accounting; it
+            # routes whatever must pay full CV back through
+            # _dispatch_missing, so the configured backend still does
+            # the heavy lifting.
+            return self.fidelity.score_batch(
+                self, base, columns, y, token, target_token
+            )
         scores: list[float | None] = [None] * len(columns)
         keys: list[str] = []
         # Deduplicate *within* the batch too: only the first occurrence
@@ -666,16 +723,9 @@ class EvaluationService:
             else:
                 scores[index] = cached
         if missing:
-            if self.backend == "pool":
-                fresh = self._score_missing_pool(
-                    base, token, columns, missing, y, target_token
-                )
-            elif self.backend == "process" and len(missing) > 1:
-                fresh = self._score_missing_process(base, columns, missing, y)
-            else:
-                fresh = self._score_missing_serial(
-                    base, token, columns, missing, y
-                )
+            fresh = self._dispatch_missing(
+                base, token, columns, missing, y, target_token
+            )
             fresh_entries: list[tuple[str, float]] = []
             for index, score in zip(missing, fresh):
                 for duplicate in missing_of_key[keys[index]]:
@@ -702,10 +752,14 @@ class EvaluationService:
         real (cached-for-later) fit — that is the price of the
         parallel backends, not a correctness difference.  (For the
         pipelined variant, see :meth:`iter_scores_async`.)
+
+        With a fidelity controller installed the whole batch routes
+        through :meth:`score_batch` regardless of backend — ladder
+        promotion is a batch decision, not a per-candidate one.
         """
         if not columns:
             return
-        if self.backend in ("process", "pool"):
+        if self.backend in ("process", "pool") or self.fidelity is not None:
             yield from self.score_batch(base, columns, y, base_token=base_token)
             return
         self.stats.n_batches += 1
@@ -761,10 +815,14 @@ class EvaluationService:
             return []
         if speculative:
             self.stats.n_speculative_submitted += len(columns)
-        if self.backend == "process":
+        if self.backend == "process" or self.fidelity is not None:
             # score_batch owns stats/batch accounting on this path.
             # (Speculation is pointless here — the whole batch is fit
-            # eagerly at submission — but the accounting stays honest.)
+            # eagerly at submission — but the accounting stays honest.
+            # The fidelity ladder likewise needs the full batch up
+            # front to make its promotion decision, so futures resolve
+            # eagerly; the engine disables cross-sweep speculation
+            # when fidelity is on for exactly this reason.)
             scores = self.score_batch(base, columns, y, base_token=base_token)
             return [ScoreFuture.resolved(score) for score in scores]
         self.stats.n_batches += 1
@@ -890,6 +948,30 @@ class EvaluationService:
         finally:
             self._flush_writes()
 
+    def _dispatch_missing(
+        self,
+        base: np.ndarray,
+        token: str,
+        columns: list[np.ndarray],
+        missing: list[int],
+        y: np.ndarray,
+        target_token: str,
+    ) -> list[float]:
+        """Route cache misses to the configured backend (full CV).
+
+        The single dispatch point for real full-fidelity fits — used by
+        the exact :meth:`score_batch` path and by the fidelity
+        controller for promoted and audited candidates, so every
+        backend (serial / process / pool) serves both paths.
+        """
+        if self.backend == "pool":
+            return self._score_missing_pool(
+                base, token, columns, missing, y, target_token
+            )
+        if self.backend == "process" and len(missing) > 1:
+            return self._score_missing_process(base, columns, missing, y)
+        return self._score_missing_serial(base, token, columns, missing, y)
+
     def _score_missing_serial(
         self,
         base: np.ndarray,
@@ -897,15 +979,22 @@ class EvaluationService:
         columns: list[np.ndarray],
         missing: list[int],
         y: np.ndarray,
+        folds=None,
     ) -> list[float]:
-        """Arena-backed loop: base copied once per token, O(n) per trial."""
+        """Arena-backed loop: base copied once per token, O(n) per trial.
+
+        ``folds`` overrides the cached full plan — the fidelity ladder
+        passes its truncated/subsampled rung-0 plan here, reusing the
+        same arena and evaluator as a full fit.
+        """
         if self._arena is None or self._arena.n_samples != base.shape[0]:
             self._arena = FeatureMatrixArena(base.shape[0], base.shape[1] + 1)
             self._arena_token = None
         if self._arena_token != token:
             self._arena.reset(base)
             self._arena_token = token
-        folds = self._plan(y)
+        if folds is None:
+            folds = self._plan(y)
         return [
             self.evaluator.evaluate(
                 self._arena.trial_view(columns[index]), y, folds=folds

@@ -1,0 +1,24 @@
+"""Multi-fidelity evaluation: successive-halving ladder + surrogate gate.
+
+The subsystem turns candidate scoring from "every survivor pays full
+CV" into a promote-or-reject ladder with an orthogonal fitted-surrogate
+shortcut, plus explicit accuracy-cost accounting (``fidelity_regret``)
+so the speedup is never reported without its measured error.  It plugs
+into :class:`repro.eval.EvaluationService` behind the
+``EngineConfig(eval_fidelity=...)`` / ``REPRO_EVAL_FIDELITY`` knob and
+is completely inert at the default ``"off"``.
+"""
+
+from .config import FIDELITY_OFF, FidelitySpec
+from .controller import FidelityController, make_fidelity
+from .ladder import FidelityLadder
+from .surrogate import SurrogateGate
+
+__all__ = [
+    "FIDELITY_OFF",
+    "FidelitySpec",
+    "FidelityController",
+    "FidelityLadder",
+    "SurrogateGate",
+    "make_fidelity",
+]

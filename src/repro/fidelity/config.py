@@ -1,0 +1,162 @@
+"""Fidelity-ladder configuration: the ``eval_fidelity`` knob.
+
+A fidelity setting is a compact spec string so it can travel through
+``EngineConfig(eval_fidelity=...)``, the ``REPRO_EVAL_FIDELITY``
+environment variable, and the run-store config hash without a schema
+change.  Grammar::
+
+    off
+    ladder
+    surrogate
+    ladder+surrogate            (either order)
+    <modes>:key=value[,key=value...]
+
+Recognized keys (defaults in :class:`FidelitySpec`):
+
+``folds``
+    CV folds evaluated at rung 0 of the ladder (taken from the front
+    of the full fold plan).
+``rows``
+    Fraction of each rung-0 fold's train/test rows kept (deterministic
+    seeded subsample; ``1.0`` keeps every row).
+``promote``
+    Fraction of a batch's rung-0 survivors promoted to full CV
+    (successive halving's keep-rate), always at least one candidate.
+``min_obs``
+    Observations a surrogate bucket needs before it may serve.
+``bound``
+    Maximum confidence-interval half-width (z·σ/√n) at which the
+    surrogate may serve a score instead of falling back to real CV.
+``audit``
+    Every ``audit``-th approximate result (surrogate-served or
+    unpromoted rung-0 score) additionally pays a full-CV fit whose
+    delta feeds ``fidelity_regret``; ``0`` disables auditing.
+
+Examples::
+
+    ladder
+    surrogate:min_obs=5,bound=0.01
+    ladder+surrogate:promote=0.25,rows=0.5,folds=1,audit=8
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FidelitySpec", "FIDELITY_OFF"]
+
+#: The spec string meaning "no fidelity machinery at all".
+FIDELITY_OFF = "off"
+
+_MODES = ("ladder", "surrogate")
+
+
+@dataclass(frozen=True)
+class FidelitySpec:
+    """Parsed ``eval_fidelity`` setting.
+
+    ``ladder`` and ``surrogate`` are orthogonal: the ladder replaces
+    most full-CV fits with a cheap rung-0 estimate plus a promoted
+    top-fraction, the surrogate serves near-duplicate candidates with
+    no fit at all.  Either can run alone.
+    """
+
+    ladder: bool = False
+    surrogate: bool = False
+    rung_folds: int = 1
+    row_fraction: float = 0.5
+    promote_fraction: float = 0.25
+    min_observations: int = 3
+    max_halfwidth: float = 0.02
+    audit_period: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rung_folds < 1:
+            raise ValueError("folds must be at least 1")
+        if not 0.0 < self.row_fraction <= 1.0:
+            raise ValueError("rows must be in (0, 1]")
+        if not 0.0 < self.promote_fraction <= 1.0:
+            raise ValueError("promote must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_obs must be at least 1")
+        if self.max_halfwidth < 0.0:
+            raise ValueError("bound must be non-negative")
+        if self.audit_period < 0:
+            raise ValueError("audit must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.ladder or self.surrogate
+
+    @property
+    def rung_token(self) -> str:
+        """Namespace token for low-fidelity cache keys.
+
+        Encodes exactly the parameters that change what a rung-0 score
+        *is* (fold count and row subsample), so two ladder settings
+        with different cheap-evaluation semantics never share cached
+        low-fidelity scores.  Promotion/surrogate/audit policy knobs
+        deliberately stay out: they choose *which* candidates pay full
+        CV, not what a low-fidelity score means.
+        """
+        return f"{self.rung_folds}x{self.row_fraction:g}"
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FidelitySpec":
+        """Parse a spec string; ``off``/empty/None parse to disabled."""
+        if text is None:
+            return cls()
+        spec = str(text).strip().lower()
+        if spec in ("", FIDELITY_OFF, "0", "none", "false"):
+            return cls()
+        modes_part, _, params_part = spec.partition(":")
+        modes = [mode.strip() for mode in modes_part.split("+") if mode.strip()]
+        if not modes:
+            raise ValueError(f"eval_fidelity spec names no mode: {text!r}")
+        for mode in modes:
+            if mode not in _MODES:
+                raise ValueError(
+                    f"unknown fidelity mode {mode!r} in {text!r}; "
+                    f"expected 'off' or a '+'-combination of {_MODES}"
+                )
+        kwargs: dict = {
+            "ladder": "ladder" in modes,
+            "surrogate": "surrogate" in modes,
+        }
+        if params_part:
+            for item in params_part.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, separator, value = item.partition("=")
+                if not separator:
+                    raise ValueError(
+                        f"malformed fidelity parameter {item!r} in {text!r}"
+                    )
+                kwargs.update(cls._parse_param(key.strip(), value.strip(), text))
+        return cls(**kwargs)
+
+    @staticmethod
+    def _parse_param(key: str, value: str, text: str) -> dict:
+        try:
+            if key == "folds":
+                return {"rung_folds": int(value)}
+            if key == "rows":
+                return {"row_fraction": float(value)}
+            if key == "promote":
+                return {"promote_fraction": float(value)}
+            if key == "min_obs":
+                return {"min_observations": int(value)}
+            if key == "bound":
+                return {"max_halfwidth": float(value)}
+            if key == "audit":
+                return {"audit_period": int(value)}
+        except ValueError as error:
+            raise ValueError(
+                f"invalid value for fidelity parameter {key!r} in {text!r}: "
+                f"{value!r}"
+            ) from error
+        raise ValueError(
+            f"unknown fidelity parameter {key!r} in {text!r}; expected one "
+            "of folds/rows/promote/min_obs/bound/audit"
+        )

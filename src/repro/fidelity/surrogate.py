@@ -1,0 +1,132 @@
+"""Surrogate scoring for near-duplicate candidates (DIFER-style).
+
+The evaluation service already observes that many cache *misses* land
+in a quantile-sketch bucket an earlier candidate occupied — the
+``n_near_duplicates`` counter introduced in PR 1 measured exactly this
+headroom.  :class:`SurrogateGate` acts on it: it maintains a running
+per-bucket estimator fitted online on every real full-CV score the
+service computes, and serves a candidate from that estimator — no
+downstream fit at all — when the bucket's confidence interval is tight
+enough to stand in for the real score.  A bucket that is unknown, too
+thin, or too noisy falls back to real CV (the fall-backs are counted:
+approximation is never silent).
+
+This is the laptop-scale analogue of DIFER's trained surrogate over
+feature candidates: instead of a differentiable model over feature
+strings, a Welford mean/variance per (base matrix, target, sketch
+bucket) cell with a normal-approximation bound — fitted continuously,
+no training phase, and conservative by construction (it can only serve
+what it has repeatedly seen).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["SurrogateGate"]
+
+
+class _Welford:
+    """Numerically stable running mean/variance of one bucket."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        if self.n < 2:
+            return float("inf")
+        return self.m2 / (self.n - 1)
+
+
+class SurrogateGate:
+    """Per-bucket fitted score estimator with a confidence gate.
+
+    Parameters
+    ----------
+    min_observations:
+        Real scores a bucket must have absorbed before it may serve.
+        With one observation the variance is undefined, so the
+        effective minimum for a finite bound is 2.
+    max_halfwidth:
+        Largest acceptable half-width of the ``z``-scaled confidence
+        interval (``z * sqrt(variance / n)``); wider buckets fall back
+        to real CV.
+    z:
+        Normal quantile of the interval (1.96 ~ 95%).
+    max_buckets:
+        LRU bound on tracked buckets, mirroring the service's
+        near-duplicate map so long runs keep bounded memory.
+    """
+
+    def __init__(
+        self,
+        min_observations: int = 3,
+        max_halfwidth: float = 0.02,
+        z: float = 1.96,
+        max_buckets: int = 8192,
+    ) -> None:
+        if min_observations < 1:
+            raise ValueError("min_observations must be at least 1")
+        if max_halfwidth < 0.0:
+            raise ValueError("max_halfwidth must be non-negative")
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be positive")
+        self.min_observations = min_observations
+        self.max_halfwidth = max_halfwidth
+        self.z = z
+        self._max_buckets = max_buckets
+        self._buckets: OrderedDict[str, _Welford] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def observe(self, key: str, score: float) -> None:
+        """Fit one real full-CV score into the bucket estimator."""
+        stats = self._buckets.get(key)
+        if stats is None:
+            if len(self._buckets) >= self._max_buckets:
+                self._buckets.popitem(last=False)
+            stats = _Welford()
+            self._buckets[key] = stats
+        else:
+            self._buckets.move_to_end(key)
+        stats.add(float(score))
+
+    def n_observations(self, key: str) -> int:
+        stats = self._buckets.get(key)
+        return 0 if stats is None else stats.n
+
+    def halfwidth(self, key: str) -> float:
+        """Current CI half-width for a bucket (inf when unservable)."""
+        stats = self._buckets.get(key)
+        if stats is None or stats.n < 2:
+            return float("inf")
+        return self.z * (stats.variance / stats.n) ** 0.5
+
+    def serve(self, key: str) -> float | None:
+        """Surrogate score for a bucket, or ``None`` to force real CV.
+
+        Serves the fitted bucket mean only when the bucket has at
+        least ``min_observations`` real scores *and* its confidence
+        half-width is within ``max_halfwidth``.  Serving refreshes the
+        bucket's LRU position but does not count as an observation —
+        the estimator only ever fits real scores.
+        """
+        stats = self._buckets.get(key)
+        if stats is None or stats.n < max(self.min_observations, 2):
+            return None
+        if self.halfwidth(key) > self.max_halfwidth:
+            return None
+        self._buckets.move_to_end(key)
+        return stats.mean

@@ -123,7 +123,16 @@ class ServeApp:
         return status, json.dumps(document).encode("utf-8"), _JSON_TYPE
 
     def metrics_text(self) -> str:
-        """Serving counters in Prometheus text exposition format."""
+        """Serving + evaluation counters in Prometheus text format.
+
+        ``repro_serve_*`` series cover the serving layer (per-plan
+        labels); the README's naming convention puts search-side
+        evaluation counters under ``repro_eval_*``, appended here from
+        :func:`repro.eval.metrics.eval_metrics_text` — they aggregate
+        over evaluation services live in this process (all zeros in a
+        pure serving process, populated when the process also runs
+        searches).
+        """
         lines = [
             "# HELP repro_serve_plans Number of serveable plans.",
             "# TYPE repro_serve_plans gauge",
@@ -151,7 +160,9 @@ class ServeApp:
             for ref in sorted(stats):
                 label = _prometheus_label(ref)
                 lines.append(f'{name}{{plan="{label}"}} {render(stats[ref])}')
-        return "\n".join(lines) + "\n"
+        from ..eval.metrics import eval_metrics_text
+
+        return "\n".join(lines) + "\n" + eval_metrics_text()
 
     def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
         """Route one request; returns ``(status_code, json_document)``."""

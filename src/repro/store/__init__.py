@@ -25,10 +25,12 @@ progress; ``vacuum`` also prunes expired-lease debris).
 """
 
 from .backends import (
+    FIDELITY_KEY_MARKER,
     CacheBackend,
     MemoryBackend,
     SqliteBackend,
     WriteThroughBackend,
+    fidelity_namespace,
     make_eval_backend,
     resolve_store_path,
 )
@@ -37,6 +39,7 @@ from .runs import ClaimedCell, QueueCell, RunRecord, RunStore, config_hash
 __all__ = [
     "CacheBackend",
     "ClaimedCell",
+    "FIDELITY_KEY_MARKER",
     "MemoryBackend",
     "QueueCell",
     "SqliteBackend",
@@ -44,6 +47,7 @@ __all__ = [
     "RunRecord",
     "RunStore",
     "config_hash",
+    "fidelity_namespace",
     "make_eval_backend",
     "resolve_store_path",
 ]

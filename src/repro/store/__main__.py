@@ -33,6 +33,11 @@ def _stats(path: str) -> dict:
         "path": path,
         "file_bytes": os.path.getsize(path),
         "n_scores": len(scores),
+        # "full" = genuine full-CV scores; any other key is a fidelity
+        # rung token (e.g. "1x0.5"), counting low-fidelity entries that
+        # live in their own namespace and can never serve a full-CV
+        # lookup.
+        "scores_by_fidelity": scores.fidelity_counts(),
         "n_runs": len(runs),
         "runs_by_status": by_status,
     }

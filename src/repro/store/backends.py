@@ -33,16 +33,37 @@ import threading
 
 __all__ = [
     "CacheBackend",
+    "FIDELITY_KEY_MARKER",
     "MemoryBackend",
     "SqliteBackend",
     "SqliteConnectionOwner",
     "WriteThroughBackend",
+    "fidelity_namespace",
     "make_eval_backend",
     "resolve_store_path",
 ]
 
 #: Environment variable naming the durable score-store path.
 EVAL_STORE_ENV = "REPRO_EVAL_STORE"
+
+#: Suffix marker separating a cache key from its fidelity namespace.
+#:
+#: Full-CV scores live under unmarked keys — exactly the key format of
+#: every PR before the fidelity ladder existed, so old stores stay
+#: valid.  Low-fidelity (rung-0) scores append ``|fid=<rung-token>``,
+#: e.g. ``...|fid=1x0.5`` for one fold at half the rows.  A full-CV
+#: lookup can therefore never return an approximate score, no matter
+#: which runs warmed the store.  ``|`` cannot appear in the hex digests
+#: and tokens that make up a key, so the marker is unambiguous.
+FIDELITY_KEY_MARKER = "|fid="
+
+
+def fidelity_namespace(key: str) -> str:
+    """Namespace of a cache key: ``"full"`` or the rung token."""
+    position = key.find(FIDELITY_KEY_MARKER)
+    if position < 0:
+        return "full"
+    return key[position + len(FIDELITY_KEY_MARKER):]
 
 
 class CacheBackend:
@@ -78,6 +99,10 @@ class CacheBackend:
     def close(self) -> None:
         """Release external resources (no-op for in-memory backends)."""
 
+    def fidelity_counts(self) -> dict[str, int]:
+        """Entry counts per fidelity namespace (``"full"`` + rung tokens)."""
+        raise NotImplementedError
+
 
 class MemoryBackend(CacheBackend):
     """Bounded in-process score store (the PR-1 ``EvaluationCache``).
@@ -105,6 +130,13 @@ class MemoryBackend(CacheBackend):
 
     def clear(self) -> None:
         self._scores.clear()
+
+    def fidelity_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for key in self._scores:
+            namespace = fidelity_namespace(key)
+            counts[namespace] = counts.get(namespace, 0) + 1
+        return counts
 
 
 class SqliteConnectionOwner:
@@ -231,6 +263,16 @@ class SqliteBackend(SqliteConnectionOwner, CacheBackend):
         row = self._connection().execute("PRAGMA integrity_check").fetchone()
         return row is not None and row[0] == "ok"
 
+    def fidelity_counts(self) -> dict[str, int]:
+        marker_length = len(FIDELITY_KEY_MARKER)
+        rows = self._connection().execute(
+            "SELECT CASE WHEN instr(key, ?) = 0 THEN 'full' "
+            f"ELSE substr(key, instr(key, ?) + {marker_length}) END "
+            "AS namespace, COUNT(*) FROM eval_scores GROUP BY namespace",
+            (FIDELITY_KEY_MARKER, FIDELITY_KEY_MARKER),
+        ).fetchall()
+        return {str(namespace): int(count) for namespace, count in rows}
+
 
 class WriteThroughBackend(CacheBackend):
     """Memory front + durable back: the shared-store lookup policy.
@@ -274,6 +316,11 @@ class WriteThroughBackend(CacheBackend):
     def close(self) -> None:
         self.front.close()
         self.back.close()
+
+    def fidelity_counts(self) -> dict[str, int]:
+        # The durable back is the source of truth (the front only ever
+        # holds a subset it wrote or promoted).
+        return self.back.fidelity_counts()
 
 
 def resolve_store_path(path: str | None = None) -> str | None:

@@ -77,10 +77,19 @@ def config_hash(config) -> str:
     the execution-only ``eval_*`` knobs are excluded (see
     ``_HASH_EXCLUDED_FIELDS``); remaining fields are serialized in
     sorted order so the hash survives field reordering.
+
+    ``eval_fidelity`` is the one ``eval_*`` knob that *does* hash when
+    set: unlike the backend/cache/speculation knobs it changes reported
+    scores, so a fidelity-on sweep must occupy its own cells.  At the
+    default ``"off"`` the field is dropped entirely, which keeps the
+    hash byte-identical to configs from before the field existed —
+    old run stores resume cleanly.
     """
     fields = dataclasses.asdict(config)
     for name in _HASH_EXCLUDED_FIELDS:
         fields.pop(name, None)
+    if fields.get("eval_fidelity") == "off":
+        fields.pop("eval_fidelity")
     serialized = json.dumps(fields, sort_keys=True, default=repr)
     return hashlib.blake2b(serialized.encode(), digest_size=16).hexdigest()
 

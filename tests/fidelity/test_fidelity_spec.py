@@ -1,0 +1,66 @@
+"""FidelitySpec: the eval_fidelity grammar and its validation."""
+
+import pytest
+
+from repro.fidelity import FIDELITY_OFF, FidelitySpec
+
+
+class TestParse:
+    @pytest.mark.parametrize("text", [None, "", "off", "OFF", "0", "none",
+                                      "false", " off "])
+    def test_disabled_spellings(self, text):
+        spec = FidelitySpec.parse(text)
+        assert not spec.enabled
+        assert not spec.ladder and not spec.surrogate
+
+    def test_default_constant(self):
+        assert FIDELITY_OFF == "off"
+        assert not FidelitySpec.parse(FIDELITY_OFF).enabled
+
+    def test_single_modes(self):
+        assert FidelitySpec.parse("ladder") == FidelitySpec(ladder=True)
+        assert FidelitySpec.parse("surrogate") == FidelitySpec(surrogate=True)
+
+    def test_combined_modes_either_order(self):
+        both = FidelitySpec(ladder=True, surrogate=True)
+        assert FidelitySpec.parse("ladder+surrogate") == both
+        assert FidelitySpec.parse("surrogate+ladder") == both
+
+    def test_parameters(self):
+        spec = FidelitySpec.parse(
+            "ladder+surrogate:folds=2,rows=0.25,promote=0.5,"
+            "min_obs=5,bound=0.01,audit=4"
+        )
+        assert spec.rung_folds == 2
+        assert spec.row_fraction == 0.25
+        assert spec.promote_fraction == 0.5
+        assert spec.min_observations == 5
+        assert spec.max_halfwidth == 0.01
+        assert spec.audit_period == 4
+
+    def test_case_insensitive_and_spacing(self):
+        spec = FidelitySpec.parse("  Ladder : promote = 0.5 ".replace(" ", ""))
+        assert spec.ladder and spec.promote_fraction == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "bogus", "ladder+bogus", "ladder:unknown=1", "ladder:promote",
+        "ladder:promote=x", "ladder:rows=0", "ladder:rows=1.5",
+        "ladder:folds=0", "ladder:audit=-1", ":promote=0.5", "+",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            FidelitySpec.parse(bad)
+
+
+class TestRungToken:
+    def test_encodes_cheap_evaluation_semantics_only(self):
+        a = FidelitySpec.parse("ladder:folds=1,rows=0.5")
+        b = FidelitySpec.parse("ladder:folds=1,rows=0.5,promote=0.9,audit=2")
+        c = FidelitySpec.parse("ladder:folds=2,rows=0.5")
+        d = FidelitySpec.parse("ladder:folds=1,rows=0.25")
+        assert a.rung_token == "1x0.5"
+        # Policy knobs (promotion/audit) do not change what a rung-0
+        # score *is*, so they share the cache namespace.
+        assert b.rung_token == a.rung_token
+        assert c.rung_token != a.rung_token
+        assert d.rung_token != a.rung_token

@@ -1,0 +1,75 @@
+"""SurrogateGate: confidence-gated serving of bucket estimates."""
+
+import numpy as np
+
+from repro.fidelity import SurrogateGate
+
+
+class TestGating:
+    def test_unknown_bucket_never_serves(self):
+        gate = SurrogateGate()
+        assert gate.serve("missing") is None
+        assert gate.halfwidth("missing") == float("inf")
+        assert gate.n_observations("missing") == 0
+
+    def test_thin_bucket_never_serves(self):
+        gate = SurrogateGate(min_observations=3)
+        gate.observe("b", 0.8)
+        gate.observe("b", 0.8)
+        assert gate.n_observations("b") == 2
+        assert gate.serve("b") is None
+
+    def test_tight_bucket_serves_its_mean(self):
+        gate = SurrogateGate(min_observations=3, max_halfwidth=0.02)
+        for score in (0.800, 0.801, 0.799, 0.800):
+            gate.observe("b", score)
+        served = gate.serve("b")
+        assert served is not None
+        assert abs(served - np.mean([0.800, 0.801, 0.799, 0.800])) < 1e-12
+
+    def test_noisy_bucket_falls_back(self):
+        gate = SurrogateGate(min_observations=3, max_halfwidth=0.02)
+        for score in (0.5, 0.9, 0.3, 0.95):
+            gate.observe("b", score)
+        assert gate.n_observations("b") == 4
+        assert gate.halfwidth("b") > 0.02
+        assert gate.serve("b") is None
+
+    def test_min_observations_one_still_needs_two_for_variance(self):
+        gate = SurrogateGate(min_observations=1, max_halfwidth=10.0)
+        gate.observe("b", 0.5)
+        assert gate.serve("b") is None  # variance undefined at n=1
+        gate.observe("b", 0.5)
+        assert gate.serve("b") == 0.5
+
+    def test_serving_is_not_an_observation(self):
+        gate = SurrogateGate(min_observations=2, max_halfwidth=1.0)
+        gate.observe("b", 0.6)
+        gate.observe("b", 0.6)
+        before = gate.n_observations("b")
+        assert gate.serve("b") == 0.6
+        assert gate.n_observations("b") == before
+
+
+class TestWelfordNumerics:
+    def test_matches_numpy_mean_and_sample_variance(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(0.7, 0.03, size=200)
+        gate = SurrogateGate(min_observations=2, max_halfwidth=10.0)
+        for value in values:
+            gate.observe("b", float(value))
+        assert abs(gate.serve("b") - values.mean()) < 1e-12
+        expected = 1.96 * np.sqrt(values.var(ddof=1) / values.size)
+        assert abs(gate.halfwidth("b") - expected) < 1e-12
+
+
+class TestBound:
+    def test_lru_eviction_keeps_recent_buckets(self):
+        gate = SurrogateGate(min_observations=1, max_buckets=3)
+        for name in ("a", "b", "c"):
+            gate.observe(name, 0.5)
+        gate.observe("a", 0.5)  # refresh a; b is now least recent
+        gate.observe("d", 0.5)  # evicts b
+        assert gate.n_observations("b") == 0
+        assert gate.n_observations("a") == 2
+        assert len(gate) == 3
