@@ -503,3 +503,51 @@ def test_eval_throughput(benchmark):
     assert report["identical_scores"]
     assert report["throughput_speedup"] > 1.5
     assert report["fits_avoided"] == N_CANDIDATES * (N_REPEATS - 1)
+
+
+def test_chaos_hooks_zero_cost_when_disabled(benchmark):
+    """The fault-injection hooks must be free when no plan is installed.
+
+    Every hot path above (store puts, pool fits, queue claims) now
+    carries a ``maybe_fault`` call.  The throughput gates in
+    ``test_backend_throughput`` already run with chaos *imported* —
+    the pool arm clearing its speedup bars is the end-to-end proof —
+    but this pins the micro-cost too: the disabled fast path is one
+    module attribute load plus an ``is None`` test, bounded here at
+    well under a microsecond per call.
+    """
+    from repro import chaos
+    from repro.chaos import maybe_fault
+
+    assert not chaos.active(), (
+        "REPRO_FAULTS is set — benchmarks must run without a fault plan"
+    )
+
+    n = 200_000
+
+    def hammer():
+        for _ in range(n):
+            maybe_fault("store.put")
+
+    seconds = benchmark.pedantic(
+        lambda: (time.perf_counter(), hammer(), time.perf_counter()),
+        rounds=1, iterations=1,
+    )
+    per_call = (seconds[2] - seconds[0]) / n
+    report = {
+        "calls": n,
+        "seconds_per_call": per_call,
+        "chaos_active": False,
+    }
+    print("\nBENCH_chaos_overhead: " + json.dumps(report, indent=2))
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if out_dir:
+        path = os.path.join(out_dir, "BENCH_chaos_overhead.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    # Generous bound: even a busy CI runner executes a disabled hook in
+    # well under a microsecond; a lock, dict lookup, or env read on
+    # this path would blow straight through it.
+    assert per_call < 1e-6, f"{per_call * 1e9:.0f}ns per disabled hook"
+    # And the hook really is inert: no faults fired, no counters moved.
+    assert chaos.fault_counts() == {}

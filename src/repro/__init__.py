@@ -57,13 +57,18 @@ from .api import (
     searcher_registry,
 )
 from .serve import FeaturePipeline, PlanRegistry, TransformService
+from .chaos import FaultInjected, FaultPlan
+from .reliability import RetryPolicy
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AutoFeatureEngineer",
+    "FaultInjected",
+    "FaultPlan",
     "FeaturePipeline",
     "FeaturePlan",
+    "RetryPolicy",
     "PlanRegistry",
     "TransformService",
     "SearcherRegistry",

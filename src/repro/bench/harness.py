@@ -119,6 +119,8 @@ def bench_config(seed: int = 0, **overrides) -> EngineConfig:
         os.environ.get("REPRO_EVAL_SPECULATION", "1") != "0"
     )
     params["eval_fidelity"] = os.environ.get("REPRO_EVAL_FIDELITY", "off")
+    # The per-fit deadline is resolved by the EvaluationService itself
+    # (REPRO_EVAL_TIMEOUT), so the config only carries an explicit one.
     params.update(overrides)
     return EngineConfig(**params)
 

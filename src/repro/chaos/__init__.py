@@ -1,0 +1,31 @@
+"""Seeded, deterministic fault injection (``REPRO_FAULTS``)."""
+
+from .faults import (
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    SiteFault,
+    active,
+    current,
+    fault_counts,
+    install,
+    install_from_env,
+    maybe_fault,
+    reset,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "SiteFault",
+    "active",
+    "current",
+    "fault_counts",
+    "install",
+    "install_from_env",
+    "maybe_fault",
+    "reset",
+]

@@ -1,0 +1,282 @@
+"""Deterministic fault injection for the reliability harness.
+
+A :class:`FaultPlan` maps *named fault sites* (``store.put``,
+``pool.fit``, ...) to seeded fault specs.  Call sites sprinkle
+:func:`maybe_fault` at the few places where production failures
+actually originate; when no plan is installed the call is a module
+attribute load plus one ``is None`` test — cheap enough to leave in
+hot paths permanently.
+
+Determinism: whether the *i*-th arrival at a site fires is a pure
+function of ``(seed, site, i)`` (a BLAKE2b hash mapped to ``[0, 1)``),
+never of wall-clock time or cross-site interleaving.  Two runs with
+the same plan therefore observe bit-identical fault sequences at every
+site, which is what lets chaos tests assert exact final scores instead
+of "it didn't crash".
+
+The plan grammar (also accepted via the ``REPRO_FAULTS`` environment
+variable)::
+
+    site:kind=prob[:after=N][:secs=S][,site:kind=prob...][@seed=N]
+
+    REPRO_FAULTS="store.put:err=0.1,pool.fit:hang=0.02:secs=30@seed=7"
+
+``err`` raises :class:`FaultInjected`; ``hang`` sleeps ``secs``
+(default 5.0) to simulate a stall.  ``after=N`` leaves the first *N*
+arrivals at the site fault-free — useful for warming a cache before
+degrading its source.  ``seed`` defaults to 0.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "SiteFault",
+    "active",
+    "fault_counts",
+    "install",
+    "install_from_env",
+    "maybe_fault",
+    "reset",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every named fault site wired into the codebase.  Plans naming a
+#: site outside this registry are rejected at parse time so typos in
+#: ``REPRO_FAULTS`` fail loudly instead of silently injecting nothing.
+FAULT_SITES = (
+    "store.get",
+    "store.put",
+    "runs.claim",
+    "pool.fit",
+    "fleet.heartbeat",
+    "registry.load",
+    "serve.handle",
+)
+
+_KINDS = ("err", "hang")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an ``err`` fault firing at a chaos site."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(f"injected fault at {site!r} (arrival #{index})")
+        self.site = site
+        self.index = index
+
+
+@dataclass(frozen=True)
+class SiteFault:
+    """One fault spec attached to a site."""
+
+    site: str
+    kind: str  # "err" | "hang"
+    probability: float
+    after: int = 0  # first `after` arrivals never fire
+    seconds: float = 5.0  # hang duration
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; "
+                f"known sites: {', '.join(FAULT_SITES)}"
+            )
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected err|hang"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.after < 0:
+            raise ValueError("after= must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("secs= must be >= 0")
+
+
+def _decision(seed: int, site: str, kind: str, index: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one arrival."""
+    digest = hashlib.blake2b(
+        f"{seed}|{site}|{kind}|{index}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of site faults with per-site arrival counters."""
+
+    faults: dict = field(default_factory=dict)  # site -> list[SiteFault]
+    seed: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+        self._arrivals: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar into a plan."""
+        text = text.strip()
+        seed = 0
+        if "@" in text:
+            body, _, tail = text.rpartition("@")
+            if not tail.startswith("seed="):
+                raise ValueError(
+                    f"expected @seed=N suffix, got {'@' + tail!r}"
+                )
+            seed = int(tail[len("seed="):])
+            text = body
+        faults: dict[str, list[SiteFault]] = {}
+        for entry in filter(None, (e.strip() for e in text.split(","))):
+            parts = entry.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"malformed fault entry {entry!r}; "
+                    "expected site:kind=prob[:after=N][:secs=S]"
+                )
+            site = parts[0].strip()
+            kind, _, prob = parts[1].partition("=")
+            if not prob:
+                raise ValueError(
+                    f"fault entry {entry!r} is missing a probability "
+                    "(expected kind=prob)"
+                )
+            kwargs: dict[str, float | int] = {}
+            for option in parts[2:]:
+                key, _, value = option.partition("=")
+                if key == "after":
+                    kwargs["after"] = int(value)
+                elif key == "secs":
+                    kwargs["seconds"] = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault option {option!r} in {entry!r}"
+                    )
+            fault = SiteFault(
+                site=site,
+                kind=kind.strip(),
+                probability=float(prob),
+                **kwargs,
+            )
+            faults.setdefault(site, []).append(fault)
+        if not faults:
+            raise ValueError("fault plan is empty")
+        return cls(faults=faults, seed=seed)
+
+    # -- firing ------------------------------------------------------------
+    def check(self, site: str) -> None:
+        """Record one arrival at ``site`` and fire any matching fault."""
+        specs = self.faults.get(site)
+        if specs is None:
+            return
+        with self._lock:
+            index = self._arrivals.get(site, 0)
+            self._arrivals[site] = index + 1
+        for fault in specs:
+            if index < fault.after:
+                continue
+            if _decision(self.seed, site, fault.kind, index) >= (
+                fault.probability
+            ):
+                continue
+            with self._lock:
+                self._fired[site] = self._fired.get(site, 0) + 1
+            if fault.kind == "hang":
+                time.sleep(fault.seconds)
+                return
+            raise FaultInjected(site, index)
+
+    def would_fire(self, site: str, index: int) -> bool:
+        """Pure query: does arrival ``index`` at ``site`` fire? (No state.)"""
+        for fault in self.faults.get(site, ()):
+            if index >= fault.after and _decision(
+                self.seed, site, fault.kind, index
+            ) < fault.probability:
+                return True
+        return False
+
+    def fired(self) -> dict[str, int]:
+        """Per-site count of faults that have fired so far."""
+        with self._lock:
+            return dict(self._fired)
+
+    def arrivals(self) -> dict[str, int]:
+        """Per-site count of arrivals observed so far."""
+        with self._lock:
+            return dict(self._arrivals)
+
+    def __repr__(self) -> str:
+        sites = ",".join(sorted(self.faults))
+        return f"FaultPlan(sites=[{sites}], seed={self.seed})"
+
+
+# -- module-level installation ---------------------------------------------
+# The installed plan is deliberately a plain module global: the
+# disabled fast path in maybe_fault() is one attribute load and an
+# `is None` test, with no lock and no function-call fan-out.
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as the process-wide fault plan (None disables)."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def install_from_env(environ=None) -> FaultPlan | None:
+    """Install a plan from ``REPRO_FAULTS`` if set; else uninstall."""
+    environ = os.environ if environ is None else environ
+    text = environ.get(FAULTS_ENV, "").strip()
+    return install(FaultPlan.parse(text) if text else None)
+
+
+def reset() -> None:
+    """Remove any installed fault plan."""
+    install(None)
+
+
+def active() -> bool:
+    """True when a fault plan is installed."""
+    return _PLAN is not None
+
+
+def current() -> FaultPlan | None:
+    """The installed fault plan, if any."""
+    return _PLAN
+
+
+def maybe_fault(site: str) -> None:
+    """Fire a fault at ``site`` if the installed plan says so.
+
+    No-op (one attribute load + ``is None`` test) when chaos is off.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.check(site)
+
+
+def fault_counts() -> dict[str, int]:
+    """Fired-fault counts per site (empty when chaos is off)."""
+    plan = _PLAN
+    return plan.fired() if plan is not None else {}
+
+
+# Forked children inherit the parent's installed plan through module
+# state; spawned children re-import, so honor the environment here.
+install_from_env()

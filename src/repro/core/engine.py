@@ -78,6 +78,12 @@ class EngineConfig:
     # (see repro.fidelity.FidelitySpec; REPRO_EVAL_FIDELITY sets it for
     # benches).  "off" keeps scoring exactly full-CV — bit-identical
     # trajectories to every PR before the fidelity ladder existed.
+    eval_timeout: float | None = None  # per-fit deadline, seconds
+    # ("pool" backend only; None falls back to REPRO_EVAL_TIMEOUT, and
+    # unset means wait forever.  A fit over deadline is cancelled, the
+    # worker generation replaced, and the candidate re-scored serially
+    # — counted in AFEResult.n_timeouts.  Execution-only: excluded
+    # from the run-store config hash.)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -95,6 +101,16 @@ class EngineConfig:
                 f"got {self.eval_backend!r}"
             )
         validate_eval_workers(self.eval_workers)
+        if self.eval_timeout is not None:
+            if (
+                isinstance(self.eval_timeout, bool)
+                or not isinstance(self.eval_timeout, (int, float))
+                or self.eval_timeout <= 0
+            ):
+                raise ValueError(
+                    "eval_timeout must be a positive number of seconds "
+                    f"or None, got {self.eval_timeout!r}"
+                )
         # Validate the fidelity spec eagerly (fail at configuration
         # time, not mid-run).  Lazy import: repro.fidelity sits above
         # the eval layer this module already pulls in.
@@ -130,6 +146,7 @@ class AFEResult:
     n_cache_hits: int = 0  # candidate scores served from the eval cache
     n_cache_misses: int = 0  # candidate scores that paid a real CV fit
     n_backend_fallbacks: int = 0  # parallel-backend failures scored serially
+    n_timeouts: int = 0  # pool fits cancelled at the eval_timeout deadline
     n_speculative_submitted: int = 0  # candidates scored ahead of need
     n_speculative_used: int = 0  # speculated candidates that became the sweep
     n_speculative_discarded: int = 0  # speculated work invalidated by accepts
@@ -207,6 +224,7 @@ class AFEResult:
             "n_cache_hits": self.n_cache_hits,
             "n_cache_misses": self.n_cache_misses,
             "n_backend_fallbacks": self.n_backend_fallbacks,
+            "n_timeouts": self.n_timeouts,
             "n_speculative_submitted": self.n_speculative_submitted,
             "n_speculative_used": self.n_speculative_used,
             "n_speculative_discarded": self.n_speculative_discarded,
@@ -268,6 +286,7 @@ class AFEResult:
             n_cache_hits=payload.get("n_cache_hits", 0),
             n_cache_misses=payload.get("n_cache_misses", 0),
             n_backend_fallbacks=payload.get("n_backend_fallbacks", 0),
+            n_timeouts=payload.get("n_timeouts", 0),
             n_speculative_submitted=payload.get("n_speculative_submitted", 0),
             n_speculative_used=payload.get("n_speculative_used", 0),
             n_speculative_discarded=payload.get("n_speculative_discarded", 0),
@@ -834,6 +853,7 @@ class AFEEngine:
         result.n_cache_hits = service.n_cache_hits
         result.n_cache_misses = service.n_cache_misses
         result.n_backend_fallbacks = service.stats.n_backend_fallbacks
+        result.n_timeouts = service.stats.n_timeouts
         result.n_speculative_submitted = service.stats.n_speculative_submitted
         result.n_speculative_used = service.stats.n_speculative_used
         result.n_speculative_discarded = service.stats.n_speculative_discarded

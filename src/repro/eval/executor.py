@@ -46,12 +46,14 @@ import weakref
 
 import numpy as np
 
+from ..chaos import maybe_fault
 from .shm import SegmentStore, attach_array
 
 __all__ = [
     "PoolExecutor",
     "TaskFailed",
     "TaskLost",
+    "TaskTimeout",
     "resolve_pool_workers",
 ]
 
@@ -67,6 +69,17 @@ _JOIN_TIMEOUT = 2.0
 
 class TaskLost(RuntimeError):
     """The submission was in flight when the pool lost a worker."""
+
+
+class TaskTimeout(TaskLost):
+    """The submission overran its deadline and was cancelled.
+
+    Subclasses :class:`TaskLost` because the remedy is identical —
+    the pool recovered (the possibly-hung worker generation was
+    replaced) and the caller re-scores the candidate serially; the
+    distinct type lets the service count deadline kills separately
+    (``n_timeouts`` vs. ``n_backend_fallbacks``).
+    """
 
 
 class TaskFailed(RuntimeError):
@@ -186,6 +199,10 @@ def _worker_main(task_queue, result_queue, evaluator_params: dict) -> None:
                 arena_token = base_token
             column = np.frombuffer(column_bytes, dtype=np.float64)
             before = evaluator.total_eval_time
+            # Chaos site: an `err` fault here surfaces to the parent as
+            # TaskFailed; a `hang` fault simulates a stuck fit, which
+            # the parent's eval_timeout deadline cancels.
+            maybe_fault("pool.fit")
             score = evaluator.evaluate(arena.trial_view(column), y, folds=folds)
             result_queue.put(
                 (seq, score, evaluator.total_eval_time - before, None)
@@ -476,7 +493,9 @@ class PoolExecutor:
         """Absorb finished results without blocking."""
         self._drain_queue_nowait()
 
-    def result(self, seq: int) -> tuple[float, float]:
+    def result(
+        self, seq: int, timeout: float | None = None
+    ) -> tuple[float, float]:
         """Block until submission ``seq`` finishes; ``(score, seconds)``.
 
         Raises :class:`TaskLost` when the submission died with a
@@ -484,8 +503,18 @@ class PoolExecutor:
         sequence number can never arrive, so waiting would deadlock),
         :class:`TaskFailed` when the worker raised while scoring it.
         Either way the pool itself stays usable.
+
+        With ``timeout`` set, a submission still unresolved after that
+        many seconds is **cancelled**: a hung fit cannot be interrupted
+        mid-C-call, so the pool recovers (terminates and respawns the
+        worker generation) and raises :class:`TaskTimeout`.  Other
+        in-flight submissions become :class:`TaskLost`; the caller
+        re-scores serially either way.
         """
         self._ensure_dispatched(seq)
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
         while True:
             if seq in self._resolved:
                 score, seconds, error = self._resolved.pop(seq)
@@ -499,8 +528,22 @@ class PoolExecutor:
                 # Never submitted, already collected, or forgotten —
                 # no result will ever arrive for it.
                 raise TaskLost(f"submission {seq} is unknown to this pool")
+            if deadline is not None and time.monotonic() >= deadline:
+                self._drain_queue_nowait()
+                if seq in self._resolved or seq in self._lost:
+                    continue  # resolved at the wire — honor the result
+                self._recover()
+                if seq in self._resolved:
+                    continue  # drained out of the dying generation
+                self._lost.discard(seq)
+                raise TaskTimeout(
+                    f"submission {seq} exceeded its {timeout}s deadline"
+                )
+            wait = _POLL_INTERVAL
+            if deadline is not None:
+                wait = min(wait, max(deadline - time.monotonic(), 0.001))
             try:
-                item = self._result_queue.get(timeout=_POLL_INTERVAL)
+                item = self._result_queue.get(timeout=wait)
             except queue_module.Empty:
                 if self._any_worker_dead():
                     self._recover()

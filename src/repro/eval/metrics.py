@@ -45,6 +45,8 @@ _SERIES = (
      "Cache misses whose quantile-sketch bucket was already seen."),
     ("backend_fallbacks_total", "n_backend_fallbacks", "counter",
      "Parallel-backend failures recovered by serial re-scoring."),
+    ("timeouts_total", "n_timeouts", "counter",
+     "Pool fits cancelled at their eval_timeout deadline."),
     ("speculative_submitted_total", "n_speculative_submitted", "counter",
      "Cross-sweep speculative submissions."),
     ("speculative_used_total", "n_speculative_used", "counter",

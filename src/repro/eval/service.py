@@ -68,6 +68,27 @@ __all__ = [
 
 BACKENDS = ("serial", "process", "pool")
 
+#: Environment knob for the per-fit deadline (pool backend), seconds.
+EVAL_TIMEOUT_ENV = "REPRO_EVAL_TIMEOUT"
+
+
+def env_eval_timeout() -> float | None:
+    """Per-fit deadline from ``REPRO_EVAL_TIMEOUT`` (unset/0 → None)."""
+    env = os.environ.get(EVAL_TIMEOUT_ENV)
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{EVAL_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{EVAL_TIMEOUT_ENV} must be >= 0 (0 disables), got {env!r}"
+        )
+    return value or None
+
 #: Buffered fresh scores are flushed to the cache store at this size.
 _WRITE_BATCH = 64
 
@@ -93,6 +114,10 @@ class EvalStats:
     #: but slower than configured — previously this degradation was
     #: silent.
     n_backend_fallbacks: int = 0
+    #: Pool fits cancelled for overrunning their ``eval_timeout``
+    #: deadline; each was re-scored serially in the parent (so the run
+    #: stayed correct), and the hung worker generation was replaced.
+    n_timeouts: int = 0
     #: Speculative-tier accounting (the engine's cross-agent sweep
     #: pipelining).  ``submitted`` counts futures created with
     #: ``submit_batch(..., speculative=True)``; every speculation is
@@ -228,7 +253,7 @@ class ScoreFuture:
 
     @classmethod
     def _make_pool(
-        cls, service, seq, key, base, token, column, y
+        cls, service, seq, key, base, token, column, y, target_token
     ) -> "ScoreFuture":
         future = cls(service, cls._POOL)
         future._seq = seq
@@ -237,6 +262,7 @@ class ScoreFuture:
         future._token = token
         future._column = column
         future._y = y
+        future._target_token = target_token
         return future
 
     @classmethod
@@ -332,11 +358,13 @@ class EvaluationService:
         n_workers: int | None = None,
         fold_cache: FoldCache | None = None,
         fidelity=None,
+        timeout: float | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        from ..reliability import RetryPolicy
         from .executor import validate_eval_workers
         from .metrics import register_service
 
@@ -345,6 +373,18 @@ class EvaluationService:
         self.backend = backend
         self.n_workers = validate_eval_workers(n_workers, name="n_workers")
         self.fidelity = fidelity
+        if timeout is None:
+            timeout = env_eval_timeout()
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        #: Per-fit deadline for pool submissions (None: wait forever).
+        self.timeout = timeout
+        # Accounting handle for pool-task resubmissions after a worker
+        # crash; surfaces in the repro_reliability_* metrics family.
+        self._pool_retry = RetryPolicy(
+            name="pool-resubmit", max_attempts=2, base_delay=0.0,
+            jitter=0.0, budget=None,
+        )
         self.stats = EvalStats()
         register_service(self)
         self._folds = fold_cache or FoldCache()
@@ -404,6 +444,7 @@ class EvaluationService:
             backend=config.eval_backend,
             n_workers=config.eval_workers,
             fidelity=fidelity,
+            timeout=getattr(config, "eval_timeout", None),
         )
 
     # -- accounting ---------------------------------------------------------
@@ -518,7 +559,11 @@ class EvaluationService:
         for seq, key in list(self._inflight.items()):
             try:
                 if block:
-                    outcome = self._executor.result(seq)
+                    # The deadline applies here too: close() must not
+                    # hang forever on a stuck speculative fit.
+                    outcome = self._executor.result(
+                        seq, timeout=self.timeout
+                    )
                 else:
                     outcome = self._executor.try_result(seq)
             except (TaskLost, TaskFailed):
@@ -549,6 +594,37 @@ class EvaluationService:
             self.evaluator.total_eval_time += seconds
             self._buffer_write(key, score)
 
+    #: Times a crash-lost pool submission is resubmitted to the
+    #: recovered pool before conceding a serial fallback.
+    _POOL_RESUBMITS = 1
+
+    def _pool_result(
+        self, executor: "PoolExecutor", seq: int, resubmit=None
+    ) -> tuple[float, float]:
+        """``executor.result`` with the deadline and crash resubmission.
+
+        A :class:`~repro.eval.executor.TaskTimeout` propagates
+        immediately — a deadline kill usually means the fit itself is
+        pathological, so the deterministic serial rescore is the right
+        (and only) second attempt.  A plain ``TaskLost`` (worker crash
+        took the submission down with it) is retried by resubmitting
+        to the freshly recovered pool up to ``_POOL_RESUBMITS`` times.
+        """
+        from .executor import TaskLost, TaskTimeout
+
+        attempts = self._POOL_RESUBMITS if resubmit is not None else 0
+        while True:
+            try:
+                return executor.result(seq, timeout=self.timeout)
+            except TaskTimeout:
+                raise
+            except TaskLost:
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                self._pool_retry.record_retry()
+                seq = resubmit()
+
     def _pool_future_done(self, future: "ScoreFuture") -> bool:
         if future._seq in self._drained:
             return True
@@ -558,7 +634,7 @@ class EvaluationService:
 
     def _collect_pool_future(self, future: "ScoreFuture") -> float:
         """Resolve one in-flight pool submission (with serial fallback)."""
-        from .executor import TaskFailed, TaskLost
+        from .executor import TaskFailed, TaskLost, TaskTimeout
 
         drained = self._drained.pop(future._seq, None)
         if drained is not None:
@@ -571,9 +647,20 @@ class EvaluationService:
                 # The service was closed with this future unresolved
                 # (it was lost mid-drain); score it here instead.
                 raise TaskLost(f"service closed; submission {future._seq}")
-            score, seconds = executor.result(future._seq)
-        except (TaskLost, TaskFailed):
-            self.stats.n_backend_fallbacks += 1
+            score, seconds = self._pool_result(
+                executor,
+                future._seq,
+                resubmit=lambda: executor.submit(
+                    future._token, future._base, future._target_token,
+                    np.asarray(future._y, dtype=np.float64).reshape(-1),
+                    future._column,
+                ),
+            )
+        except (TaskLost, TaskFailed) as error:
+            if isinstance(error, TaskTimeout):
+                self.stats.n_timeouts += 1
+            else:
+                self.stats.n_backend_fallbacks += 1
             self._inflight.pop(future._seq, None)
             score = self._score_missing_serial(
                 future._base, future._token, [future._column], [0], future._y
@@ -868,7 +955,7 @@ class EvaluationService:
                 )
                 self._inflight[seq] = key
                 future = ScoreFuture._make_pool(
-                    self, seq, key, base, token, column, y
+                    self, seq, key, base, token, column, y, target_token
                 )
             first_of_key[key] = future
             futures.append(future)
@@ -1017,9 +1104,12 @@ class EvaluationService:
         ships only its candidate column.  A submission that dies with
         a worker (or errors worker-side) is re-scored serially in the
         parent and counted in ``stats.n_backend_fallbacks`` — the
-        batch always completes.
+        batch always completes.  A submission exceeding the service's
+        ``timeout`` deadline is cancelled (the hung worker generation
+        is replaced), counted in ``stats.n_timeouts``, and re-scored
+        serially the same way.
         """
-        from .executor import TaskFailed, TaskLost
+        from .executor import TaskFailed, TaskLost, TaskTimeout
 
         executor = self._ensure_executor()
         y = np.asarray(y, dtype=np.float64).reshape(-1)
@@ -1030,9 +1120,18 @@ class EvaluationService:
         scores: list[float] = []
         for seq, index in zip(seqs, missing):
             try:
-                score, seconds = executor.result(seq)
-            except (TaskLost, TaskFailed):
-                self.stats.n_backend_fallbacks += 1
+                score, seconds = self._pool_result(
+                    executor,
+                    seq,
+                    resubmit=lambda index=index: executor.submit(
+                        token, base, target_token, y, columns[index]
+                    ),
+                )
+            except (TaskLost, TaskFailed) as error:
+                if isinstance(error, TaskTimeout):
+                    self.stats.n_timeouts += 1
+                else:
+                    self.stats.n_backend_fallbacks += 1
                 score = self._score_missing_serial(
                     base, token, columns, [index], y
                 )[0]

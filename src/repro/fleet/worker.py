@@ -23,6 +23,7 @@ no-op, so a zombie can never corrupt the queue.
 from __future__ import annotations
 
 import os
+import random
 import socket
 import threading
 import time
@@ -30,6 +31,8 @@ import traceback
 import uuid
 from dataclasses import dataclass, field
 
+from ..chaos import maybe_fault
+from ..reliability import sqlite_retry_policy
 from ..store import ClaimedCell, RunStore
 from .spec import CellSpec
 
@@ -47,6 +50,8 @@ class WorkerStats:
     failed: int = 0
     lost: int = 0  # lease reaped mid-cell; completion was a no-op
     heartbeats: int = 0
+    claim_retries: int = 0  # idle polls that found the queue drained
+    heartbeat_faults: int = 0  # beats dropped by errors / chaos faults
     errors: list[str] = field(default_factory=list)
 
 
@@ -65,7 +70,14 @@ class FleetWorker:
         its lease indefinitely while a SIGKILLed one loses it within
         one TTL.
     poll_interval:
-        Idle sleep between claim attempts when the queue is empty.
+        Base idle sleep between claim attempts when the queue is
+        empty.  Consecutive empty polls back off exponentially (with
+        deterministic per-worker jitter) up to ``max_poll_interval``,
+        so a drained queue with many workers stops hammering the WAL
+        file; any successful claim resets the backoff.
+    max_poll_interval:
+        Cap on the idle backoff (clamped to at least
+        ``poll_interval``).
     max_cells:
         Stop after this many claim resolutions (None: unbounded).
     follow:
@@ -80,44 +92,72 @@ class FleetWorker:
         worker_id: str | None = None,
         lease_ttl: float = 60.0,
         poll_interval: float = 0.5,
+        max_poll_interval: float = 5.0,
         max_cells: int | None = None,
         follow: bool = False,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.store = store if isinstance(store, RunStore) else RunStore(store)
         self.worker_id = worker_id or (
             f"{socket.gethostname()}:{os.getpid()}"
         )
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
+        self.max_poll_interval = max(max_poll_interval, poll_interval)
         self.max_cells = max_cells
         self.follow = follow
         self._stop = threading.Event()
+        # Claim/heartbeat traffic shares one retry policy; the jitter
+        # RNG is seeded from the worker identity so each worker's idle
+        # schedule is deterministic yet decorrelated from its peers.
+        self._retry = sqlite_retry_policy(name="fleet-worker")
+        self._jitter = random.Random(f"fleet-idle:{self.worker_id}")
 
     def stop(self) -> None:
         """Ask the loop to exit at the next cell boundary."""
         self._stop.set()
 
+    def _idle_delay(self, streak: int) -> float:
+        """Backoff before the next claim poll after ``streak`` misses.
+
+        Exponential from ``poll_interval`` capped at
+        ``max_poll_interval``, spread by ±25% deterministic jitter so a
+        fleet of workers that drained the queue together doesn't wake
+        in lockstep forever.
+        """
+        backoff = min(
+            self.poll_interval * 2.0 ** max(streak - 1, 0),
+            self.max_poll_interval,
+        )
+        return backoff * (1.0 + 0.25 * (2.0 * self._jitter.random() - 1.0))
+
     # -- the loop ----------------------------------------------------------
     def run(self) -> WorkerStats:
         """Drain the queue; returns what happened."""
         stats = WorkerStats(worker_id=self.worker_id)
+        idle_streak = 0
         while not self._stop.is_set():
             if (
                 self.max_cells is not None
                 and stats.claimed >= self.max_cells
             ):
                 break
-            claim = self.store.claim_cell(
-                self.worker_id, lease_ttl=self.lease_ttl
+            claim = self._retry.call(
+                self.store.claim_cell, self.worker_id,
+                lease_ttl=self.lease_ttl,
             )
             if claim is None:
                 if not self.follow and self.store.queue_depth() == 0:
                     break
-                if self._stop.wait(self.poll_interval):
+                idle_streak += 1
+                stats.claim_retries += 1
+                if self._stop.wait(self._idle_delay(idle_streak)):
                     break
                 continue
+            idle_streak = 0
             stats.claimed += 1
             self._run_cell(claim, stats)
         return stats
@@ -129,7 +169,20 @@ class FleetWorker:
         def beat() -> None:
             interval = max(self.lease_ttl / 3.0, 0.05)
             while not heartbeat_stop.wait(interval):
-                if self.store.heartbeat(claim.token, self.lease_ttl):
+                try:
+                    # An injected heartbeat fault (or exhausted store
+                    # retry) drops this beat on the floor — exactly a
+                    # lost packet.  The lease shortens but stays valid
+                    # until the TTL truly lapses; if the leader reaps
+                    # it, the next successful beat reports lease-lost.
+                    maybe_fault("fleet.heartbeat")
+                    alive = self._retry.call(
+                        self.store.heartbeat, claim.token, self.lease_ttl
+                    )
+                except Exception:  # noqa: BLE001 — incl. FaultInjected
+                    stats.heartbeat_faults += 1
+                    continue
+                if alive:
                     stats.heartbeats += 1
                 else:
                     lease_lost.set()

@@ -1,0 +1,17 @@
+"""Unified retry/backoff policies shared across failure domains."""
+
+from .metrics import reliability_metrics_text
+from .retry import (
+    RetryPolicy,
+    is_transient_sqlite_error,
+    registered_policies,
+    sqlite_retry_policy,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "is_transient_sqlite_error",
+    "registered_policies",
+    "reliability_metrics_text",
+    "sqlite_retry_policy",
+]

@@ -1,0 +1,180 @@
+"""Unified retry/backoff policy shared by every failure domain.
+
+One :class:`RetryPolicy` vocabulary covers SQLite busy/locked
+contention (store + run queue), fleet claim/heartbeat traffic, and
+pool-task resubmission.  Backoff is exponential with *deterministic*
+seeded jitter: the k-th retry of a given policy instance always sleeps
+the same amount for the same seed, so retry schedules — like the chaos
+faults that trigger them — replay bit-identically.
+
+A policy also carries a *retry budget*: a cap on total sleep seconds
+across the instance's lifetime.  Once the budget is exhausted the
+policy stops absorbing failures and lets them propagate, which keeps a
+persistently broken dependency from turning into an unbounded stall.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+
+from ..chaos import FaultInjected
+
+__all__ = [
+    "RetryPolicy",
+    "is_transient_sqlite_error",
+    "sqlite_retry_policy",
+]
+
+# Message fragments that mark a sqlite3.OperationalError as contention
+# (another writer holds the lock) rather than corruption or misuse.
+_TRANSIENT_SQLITE_MARKERS = ("locked", "busy")
+
+
+def is_transient_sqlite_error(error: BaseException) -> bool:
+    """True for busy/locked contention errors worth retrying.
+
+    ``database is locked`` / ``database table is locked`` / ``database
+    is busy`` are WAL-contention outcomes that a short backoff resolves;
+    everything else (``no such table``, ``disk I/O error``, misuse) is
+    fatal and must propagate.  Injected chaos faults count as transient
+    so fault plans exercise the retry path.
+    """
+    if isinstance(error, FaultInjected):
+        return True
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_SQLITE_MARKERS)
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a sleep budget.
+
+    ``classify(error) -> bool`` decides retryability; the default
+    retries transient SQLite contention and injected chaos faults.
+    ``budget`` bounds *total* sleep seconds over the policy's lifetime
+    (shared across calls); ``None`` means unbounded.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5  # +- fraction of the backoff step
+    seed: int = 0
+    budget: float | None = 30.0
+    classify: object = None  # callable(BaseException) -> bool
+    sleep: object = time.sleep  # injectable for tests
+    name: str = "retry"
+
+    # -- runtime counters (exported via repro_reliability_*) --------------
+    n_retries: int = field(default=0, init=False)
+    n_giveups: int = field(default=0, init=False)
+    slept_seconds: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.classify is None:
+            self.classify = is_transient_sqlite_error
+        self._rng = random.Random(f"retry:{self.name}:{self.seed}")
+        self._lock = threading.Lock()
+        _POLICIES.add(self)
+
+    # -- backoff schedule --------------------------------------------------
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based), jitter included.
+
+        Consumes the policy's RNG — successive calls with the same
+        ``attempt`` differ by jitter, but the full sequence is a pure
+        function of the seed.
+        """
+        backoff = min(
+            self.base_delay * self.multiplier**attempt, self.max_delay
+        )
+        with self._lock:
+            spread = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return backoff * spread
+
+    def budget_remaining(self) -> float:
+        """Sleep seconds left before the policy stops retrying."""
+        if self.budget is None:
+            return float("inf")
+        return max(0.0, self.budget - self.slept_seconds)
+
+    def record_retry(self) -> None:
+        """Count a retry executed outside :meth:`call`.
+
+        Some retries are not a simple re-invocation (a pool-task
+        resubmission produces a *new* sequence number); owners drive
+        those themselves and record them here so the attempt still
+        lands in ``repro_reliability_retries_total``.
+        """
+        with self._lock:
+            self.n_retries += 1
+
+    # -- execution ---------------------------------------------------------
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn`` retrying retryable failures per the policy."""
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if (
+                    attempt + 1 >= self.max_attempts
+                    or not self.classify(error)
+                ):
+                    raise
+                pause = self.delay(attempt)
+                if pause > self.budget_remaining():
+                    with self._lock:
+                        self.n_giveups += 1
+                    raise
+                with self._lock:
+                    self.n_retries += 1
+                    self.slept_seconds += pause
+                if pause > 0:
+                    self.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __hash__(self):  # dataclass with mutable fields; identity hash
+        return id(self)
+
+    def __eq__(self, other):
+        return self is other
+
+
+# Live policies, tracked weakly so metrics can aggregate without
+# keeping dead policies (or their owners) alive.
+_POLICIES: "weakref.WeakSet[RetryPolicy]" = weakref.WeakSet()
+
+
+def registered_policies() -> list[RetryPolicy]:
+    """Snapshot of live retry policies (for metrics aggregation)."""
+    return list(_POLICIES)
+
+
+def sqlite_retry_policy(
+    name: str = "sqlite", seed: int = 0, **overrides
+) -> RetryPolicy:
+    """Policy tuned for WAL busy/locked contention around transactions."""
+    defaults = dict(
+        max_attempts=5,
+        base_delay=0.02,
+        multiplier=2.0,
+        max_delay=0.5,
+        jitter=0.5,
+        budget=30.0,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(name=name, seed=seed, **defaults)

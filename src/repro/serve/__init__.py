@@ -36,6 +36,7 @@ from .registry import (
 )
 from .server import PlanHTTPServer, ServeApp, make_server
 from .service import PlanServeStats, TransformService
+from .watchdog import Watchdog
 
 __all__ = [
     "FeaturePipeline",
@@ -47,6 +48,7 @@ __all__ = [
     "PlanServeStats",
     "ServeApp",
     "TransformService",
+    "Watchdog",
     "make_server",
     "plan_name_of_path",
 ]

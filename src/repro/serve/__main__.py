@@ -24,10 +24,15 @@ Then::
 
 ``--port 0`` binds a free port; the chosen address is printed as a
 ``serving on http://...`` line before requests are accepted.  SIGINT
-and SIGTERM (docker stop, kubernetes, CI) both shut down cleanly —
-handlers are installed explicitly, so shutdown works even when the
-process was started with SIGINT ignored (non-interactive shells
-background ``&`` jobs that way).
+and SIGTERM (docker stop, kubernetes, CI) both shut down cleanly and
+*gracefully*: the server first drains — new requests get 503 while
+in-flight ones finish (bounded by ``--drain-timeout``) — then exits
+with a ``shutdown complete`` line.  Handlers are installed
+explicitly, so shutdown works even when the process was started with
+SIGINT ignored (non-interactive shells background ``&`` jobs that
+way).  A watchdog thread (``--selftest-interval``, 0 to disable)
+round-trips a canary transform and flips ``/healthz`` to ``degraded``
+if the compute path stops reproducing its baseline.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from .pipeline import FeaturePipeline
 from .registry import PlanRegistry, plan_name_of_path
 from .server import make_server
 from .service import TransformService
+from .watchdog import Watchdog
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,6 +94,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="max seconds to wait for in-flight requests on shutdown "
+        "before closing anyway",
+    )
+    parser.add_argument(
+        "--selftest-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="watchdog canary-transform period; 0 disables the watchdog",
+    )
     args = parser.parse_args(argv)
 
     if args.registry is None and not args.plan and args.pipeline is None:
@@ -115,12 +136,41 @@ def main(argv: list[str] | None = None) -> int:
         pipeline=pipeline,
         verbose=args.verbose,
     )
+    watchdog = None
+    if args.selftest_interval > 0:
+        # Eager construction round-trips the canary once, so a compute
+        # path broken at startup fails loudly here instead of serving.
+        watchdog = Watchdog(server.app, interval=args.selftest_interval)
+        watchdog.start()
+
     def _request_shutdown(signum, frame):
-        # shutdown() blocks until serve_forever exits, so it must run
-        # off the main thread; as a daemon it also never blocks exit.
-        # Even a signal delivered before serve_forever starts is safe:
-        # the shutdown flag is already set when the loop first checks.
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        # Drain, then stop: new requests 503 immediately while
+        # in-flight ones finish (bounded by --drain-timeout).
+        # shutdown() blocks until serve_forever exits, so the whole
+        # sequence runs off the main thread; as a daemon it also never
+        # blocks exit.  Even a signal delivered before serve_forever
+        # starts is safe: the shutdown flag is already set when the
+        # loop first checks.
+        def _drain_then_stop() -> None:
+            app = server.app
+            app.begin_drain()
+            print(
+                f"draining: {app.inflight} request(s) in flight",
+                file=sys.stderr,
+                flush=True,
+            )
+            if app.wait_drained(timeout=args.drain_timeout):
+                print("drained", file=sys.stderr, flush=True)
+            else:
+                print(
+                    f"drain timeout after {args.drain_timeout}s; "
+                    "closing with requests in flight",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            server.shutdown()
+
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
 
     # Explicit handlers: a process backgrounded by a non-interactive
     # shell inherits SIGINT=SIG_IGN (and Python then never installs
@@ -141,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if watchdog is not None:
+            watchdog.stop(timeout=1.0)
         server.server_close()
         print("shutdown complete", file=sys.stderr, flush=True)
     return 0

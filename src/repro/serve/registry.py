@@ -55,6 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..api.plan import FeaturePlan, plan_fingerprint
+from ..chaos import maybe_fault
 from ..operators.registry import (
     OperatorRegistry,
     default_registry,
@@ -639,6 +640,7 @@ class PlanRegistry:
         :meth:`FeaturePlan.load`, with a type transport layers can map
         to a 5xx.
         """
+        maybe_fault("registry.load")
         version = self._pinned_version(name, version)
         stored = self._backend.get(name, version)
         if stored is None:
@@ -677,6 +679,7 @@ class PlanRegistry:
         touches version metadata (a directory listing / one indexed
         SELECT), never the plan documents.
         """
+        maybe_fault("registry.load")
         if ref.startswith("fp:"):
             ref = ref[3:]
         if ref.startswith("plan-v1:"):

@@ -8,7 +8,12 @@ for smoke deployments and as the reference wire protocol.
 Endpoints
 ---------
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "n_plans": ...}``.
+    Liveness and readiness: ``{"status": "ready"|"degraded"|"live",
+    ...}`` with a ``reliability`` block (registry errors, degraded
+    serves, watchdog verdict, retry/fault counters).  ``degraded``
+    means traffic is still answered — from the compiled-plan cache —
+    while the registry backend is failing; ``live`` means the server
+    is draining and refuses new work.
 ``GET /plans``
     Every serveable reference with fingerprint and width.
 ``GET /stats``
@@ -42,12 +47,15 @@ from __future__ import annotations
 
 import json
 import threading
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..chaos import FaultInjected, fault_counts, maybe_fault
+from ..reliability import registered_policies, reliability_metrics_text
 from .pipeline import FeaturePipeline
 from .registry import PlanIntegrityError, PlanNotFound
-from .service import TransformService
+from .service import _DEGRADABLE_ERRORS, TransformService
 
 __all__ = ["ServeApp", "PlanHTTPServer", "make_server"]
 
@@ -92,6 +100,58 @@ class ServeApp:
         self.service = service
         self.default_plan = default_plan
         self.pipeline = pipeline
+        # Lifecycle state: draining (SIGTERM received — 503 new work,
+        # finish in-flight requests), in-flight request tracking, and
+        # the watchdog self-test verdict (flips /healthz to degraded).
+        self._draining = threading.Event()
+        self._inflight_lock = threading.Condition()
+        self._inflight = 0
+        self.watchdog_ok = True
+        self.last_watchdog_error: str | None = None
+        self.n_watchdog_failures = 0
+        self.n_handle_faults = 0
+        self.n_drained_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being handled."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def begin_drain(self) -> None:
+        """Stop accepting work: new requests (except probes) get 503."""
+        self._draining.set()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight request finished (True on empty)."""
+        with self._inflight_lock:
+            return self._inflight_lock.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    @contextmanager
+    def _track_inflight(self):
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self.n_drained_requests += 1 if self._draining.is_set() else 0
+                self._inflight_lock.notify_all()
+
+    def record_selftest(self, ok: bool, error: str | None = None) -> None:
+        """Watchdog verdict sink: flips readiness on canary failure."""
+        self.watchdog_ok = ok
+        self.last_watchdog_error = error
+        if not ok:
+            self.n_watchdog_failures += 1
 
     # -- dispatch ----------------------------------------------------------
     def handle_raw(
@@ -102,10 +162,29 @@ class ServeApp:
         Returns ``(status, payload bytes, content type)``.  The
         Prometheus surface (``/metrics``, ``/stats?format=prometheus``)
         answers in text exposition format; everything else delegates
-        to :meth:`handle` and serializes JSON.
+        to :meth:`handle` and serializes JSON.  While draining, every
+        endpoint except the probes (``/healthz``, ``/metrics``)
+        answers 503 without touching the service.
         """
         parts = urlsplit(raw_path)
         path = parts.path
+        if self._draining.is_set() and path not in ("/healthz", "/metrics"):
+            document = {"error": "server is draining; no new work accepted"}
+            return 503, json.dumps(document).encode("utf-8"), _JSON_TYPE
+        with self._track_inflight():
+            return self._dispatch_raw(method, parts, path, body)
+
+    def _dispatch_raw(
+        self, method: str, parts, path: str, body: dict | None
+    ) -> tuple[int, bytes, str]:
+        try:
+            # Chaos site: a fault here models the handler itself
+            # failing (worst-case 500), independent of the registry.
+            maybe_fault("serve.handle")
+        except FaultInjected as error:
+            self.n_handle_faults += 1
+            document = {"error": str(error)}
+            return 500, json.dumps(document).encode("utf-8"), _JSON_TYPE
         if method == "GET" and path == "/metrics":
             return 200, self.metrics_text().encode("utf-8"), _PROMETHEUS_TYPE
         if method == "GET" and path == "/stats":
@@ -160,9 +239,44 @@ class ServeApp:
             for ref in sorted(stats):
                 label = _prometheus_label(ref)
                 lines.append(f'{name}{{plan="{label}"}} {render(stats[ref])}')
+        degraded = bool(
+            getattr(self.service, "degraded", False) or not self.watchdog_ok
+        )
+        lifecycle = (
+            ("degraded", "gauge",
+             "1 when serving stale plans (registry errors or failed "
+             "watchdog canary), 0 when healthy.",
+             str(int(degraded))),
+            ("draining", "gauge",
+             "1 while the server refuses new work pending shutdown.",
+             str(int(self._draining.is_set()))),
+            ("degraded_serves_total", "counter",
+             "Requests answered from the compiled-plan cache while the "
+             "registry backend was failing.",
+             str(getattr(self.service, "n_degraded_serves", 0))),
+            ("registry_errors_total", "counter",
+             "Registry backend errors absorbed by degraded serving.",
+             str(getattr(self.service, "n_registry_errors", 0))),
+            ("handle_faults_total", "counter",
+             "Injected serve.handle faults surfaced as HTTP 500.",
+             str(self.n_handle_faults)),
+            ("watchdog_failures_total", "counter",
+             "Watchdog canary round-trips that failed.",
+             str(self.n_watchdog_failures)),
+        )
+        for suffix, kind, help_text, value in lifecycle:
+            name = f"repro_serve_{suffix}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value}")
         from ..eval.metrics import eval_metrics_text
 
-        return "\n".join(lines) + "\n" + eval_metrics_text()
+        return (
+            "\n".join(lines)
+            + "\n"
+            + eval_metrics_text()
+            + reliability_metrics_text()
+        )
 
     def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
         """Route one request; returns ``(status_code, json_document)``."""
@@ -190,15 +304,55 @@ class ServeApp:
             return 400, {"error": str(message)}
         except (TypeError, ValueError) as error:
             return 400, {"error": str(error)}
+        except _DEGRADABLE_ERRORS as error:
+            # Registry backend down AND the plan is not in the LRU —
+            # degradation had nothing to serve.  503 tells the client
+            # (and its load balancer) to retry elsewhere.
+            return 503, {"error": f"registry backend unavailable: {error}"}
 
     def _healthz(self) -> dict:
         # Liveness must stay cheap: n_plans counts version metadata,
-        # never loading plan documents.
+        # never loading plan documents.  Status ladder:
+        #   ready    — accepting traffic, registry + watchdog healthy
+        #   degraded — alive and answering, but the registry backend is
+        #              failing (stale/LRU serves) or the watchdog canary
+        #              round-trip failed
+        #   live     — draining: process is up but refuses new work
+        degraded = bool(
+            getattr(self.service, "degraded", False) or not self.watchdog_ok
+        )
+        if self._draining.is_set():
+            status = "live"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ready"
         return {
-            "status": "ok",
+            "status": status,
+            "degraded": degraded,
+            "draining": self._draining.is_set(),
             "n_plans": self.service.n_plans(),
             "default_plan": self.default_plan,
             "has_pipeline": self.pipeline is not None,
+            "reliability": {
+                "registry_errors": getattr(
+                    self.service, "n_registry_errors", 0
+                ),
+                "registry_error": getattr(
+                    self.service, "degraded_error", None
+                ),
+                "degraded_serves": getattr(
+                    self.service, "n_degraded_serves", 0
+                ),
+                "handle_faults": self.n_handle_faults,
+                "watchdog_ok": self.watchdog_ok,
+                "watchdog_failures": self.n_watchdog_failures,
+                "watchdog_error": self.last_watchdog_error,
+                "retries": sum(
+                    policy.n_retries for policy in registered_policies()
+                ),
+                "faults_injected": sum(fault_counts().values()),
+            },
         }
 
     def _stats(self) -> dict:

@@ -21,18 +21,27 @@ picked up without restarting the service) or are pinned directly with
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
+import sqlite3
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..api.plan import FeaturePlan
+from ..chaos import FaultInjected
 from .registry import PlanNotFound, PlanRegistry
 from .rows import rows_to_matrix
 
 __all__ = ["PlanServeStats", "TransformService"]
+
+#: Registry failures the service degrades through instead of dying:
+#: backend I/O trouble (a remote/SQLite registry flaking) and injected
+#: chaos faults.  Integrity failures and genuine not-found are *not*
+#: here — serving a known-corrupt or never-published plan from cache
+#: would be wrong, not resilient.
+_DEGRADABLE_ERRORS = (sqlite3.Error, OSError, FaultInjected)
 
 
 @dataclass
@@ -100,6 +109,64 @@ class TransformService:
         self._cache: OrderedDict[str, FeaturePlan] = OrderedDict()
         self._pinned: dict[str, FeaturePlan] = {}
         self._stats: dict[str, PlanServeStats] = {}
+        # Degraded-mode state: requested ref -> last successfully
+        # resolved key (stale metadata served when the registry backend
+        # errors), plus the failure that put the service in degraded
+        # mode (None = healthy).  Counters feed /healthz and /metrics.
+        self._resolved_refs: OrderedDict[str, str] = OrderedDict()
+        self._degraded_error: str | None = None
+        self.n_degraded_serves = 0
+        self.n_registry_errors = 0
+
+    # -- degraded mode -----------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while the registry backend is erroring (stale serving)."""
+        with self._lock:
+            return self._degraded_error is not None
+
+    @property
+    def degraded_error(self) -> str | None:
+        """The registry failure that triggered degraded mode, if any."""
+        with self._lock:
+            return self._degraded_error
+
+    _REF_MEMO_CAPACITY = 256
+
+    def _remember_ref(self, ref: str, key: str) -> None:
+        """Memoize a successful resolution for degraded replay (locked)."""
+        self._resolved_refs[ref] = key
+        self._resolved_refs.move_to_end(ref)
+        while len(self._resolved_refs) > self._REF_MEMO_CAPACITY:
+            self._resolved_refs.popitem(last=False)
+
+    def _acquire_degraded(
+        self, ref: str, error: BaseException, key: str | None = None
+    ) -> tuple[str, FeaturePlan, bool]:
+        """Serve ``ref`` from stale metadata + the compiled-plan LRU.
+
+        Raises the original registry error when nothing cached can
+        honor the request — degradation never invents plans.
+        """
+        detail = f"{type(error).__name__}: {error}"
+        with self._lock:
+            self.n_registry_errors += 1
+            self._degraded_error = detail
+            if key is None:
+                key = self._resolved_refs.get(ref)
+            if key is None and ref in self._cache:
+                key = ref  # the ref was already fully pinned
+            plan = self._cache.get(key) if key is not None else None
+            if plan is None:
+                raise error
+            self._cache.move_to_end(key)
+            self.n_degraded_serves += 1
+            return key, plan, True
+
+    def _registry_ok(self) -> None:
+        """A registry access succeeded: leave degraded mode (locked)."""
+        if self._degraded_error is not None:
+            self._degraded_error = None
 
     # -- plan management ---------------------------------------------------
     def add_plan(self, plan: FeaturePlan, ref: str | None = None) -> str:
@@ -120,12 +187,20 @@ class TransformService:
 
         Unlike :meth:`available`, this never loads plan documents, so
         a health endpoint can call it every few seconds against a
-        large registry.
+        large registry.  While the registry backend errors, the count
+        falls back to what is compiled or pinned locally — the health
+        probe must keep answering in degraded mode.
         """
         with self._lock:
             count = len(self._pinned)
         if self.registry is not None:
-            count += len(self.registry)
+            try:
+                count += len(self.registry)
+            except _DEGRADABLE_ERRORS as error:
+                with self._lock:
+                    self.n_registry_errors += 1
+                    self._degraded_error = f"{type(error).__name__}: {error}"
+                    count += len(self._cache)
         return count
 
     def available(self) -> list[dict]:
@@ -172,9 +247,16 @@ class TransformService:
             raise PlanNotFound(
                 f"unknown plan {ref!r} (no registry attached; use add_plan)"
             )
-        name, version = self.registry.resolve_ref(ref)
+        try:
+            name, version = self.registry.resolve_ref(ref)
+        except _DEGRADABLE_ERRORS as error:
+            # Registry backend down: replay the last resolution this
+            # ref got and serve the compiled plan from the LRU.
+            return self._acquire_degraded(ref, error)
         key = f"{name}@{version}"
         with self._lock:
+            self._registry_ok()
+            self._remember_ref(ref, key)
             plan = self._cache.get(key)
             if plan is not None:
                 self._cache.move_to_end(key)
@@ -183,8 +265,12 @@ class TransformService:
         # inputs, and a slow compile must not stall other plans'
         # traffic.  Two threads racing on a cold plan may both compile;
         # one result wins the cache slot (both are equivalent).
-        plan = self.registry.get(name, version)
+        try:
+            plan = self.registry.get(name, version)
+        except _DEGRADABLE_ERRORS as error:
+            return self._acquire_degraded(ref, error, key=key)
         with self._lock:
+            self._registry_ok()
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
@@ -271,7 +357,7 @@ class TransformService:
             try:
                 name, version = self.registry.resolve_ref(ref)
                 key = f"{name}@{version}"
-            except KeyError:
+            except Exception:  # noqa: BLE001 — stats lookups never fail
                 key = ref
         with self._lock:
             return self._stats.setdefault(key, PlanServeStats())

@@ -1,0 +1,120 @@
+"""Serving self-test watchdog: canary transforms on a daemon thread.
+
+A degraded registry is detected lazily (on the request that hits it);
+a broken *compute* path — corrupted operator registry, a numpy that
+stopped returning bit-stable results, a poisoned import — would
+otherwise only surface as wrong answers.  The watchdog closes that
+gap: every ``interval`` seconds it round-trips a small canary matrix
+through a compiled :class:`~repro.api.plan.FeaturePlan` and compares
+the output bit-for-bit against the baseline computed at construction
+time.  Any mismatch or exception flips the app's readiness
+(``/healthz`` reports ``degraded``) via
+:meth:`ServeApp.record_selftest`; the next clean round-trip flips it
+back.
+
+The canary plan is built from the paper's default operator registry
+and never touches the plan registry or the service caches, so the
+self-test is independent of (and cannot mask) registry degradation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..api.plan import FeaturePlan
+
+__all__ = ["Watchdog", "CANARY_FEATURES", "CANARY_COLUMNS"]
+
+#: Expressions covering an identity pass-through, a binary operator,
+#: and a unary operator — enough to notice a broken compute path
+#: without being expensive.
+CANARY_FEATURES = ["f0", "mul(f0,f1)", "log(f1)"]
+CANARY_COLUMNS = ["f0", "f1"]
+
+_CANARY_MATRIX = np.array(
+    [[1.0, 2.0], [3.0, 4.0], [0.5, 8.0]], dtype=np.float64
+)
+
+
+class Watchdog:
+    """Periodic canary self-test feeding a :class:`ServeApp`.
+
+    Parameters
+    ----------
+    app:
+        Object exposing ``record_selftest(ok, error)`` — in practice
+        the :class:`~repro.serve.server.ServeApp`.
+    interval:
+        Seconds between canary round-trips.
+
+    Construction performs the first round-trip eagerly to capture the
+    bit-exact baseline; a compute path broken at startup therefore
+    raises immediately instead of silently serving wrong answers.
+    """
+
+    def __init__(self, app, interval: float = 5.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        self.app = app
+        self.interval = float(interval)
+        self.n_checks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._plan = FeaturePlan(
+            list(CANARY_FEATURES), list(CANARY_COLUMNS)
+        )
+        self._baseline = np.asarray(
+            self._plan.transform(_CANARY_MATRIX), dtype=np.float64
+        ).copy()
+
+    # -- one round-trip ----------------------------------------------------
+    def check(self) -> bool:
+        """Run one canary round-trip and report the verdict to the app.
+
+        Returns ``True`` when the transform reproduced the baseline
+        bit-for-bit.
+        """
+        self.n_checks += 1
+        try:
+            output = np.asarray(
+                self._plan.transform(_CANARY_MATRIX), dtype=np.float64
+            )
+        except Exception as error:  # noqa: BLE001 — verdict, not crash
+            self.app.record_selftest(
+                False, f"canary transform raised: {error!r}"
+            )
+            return False
+        if output.shape != self._baseline.shape or not np.array_equal(
+            output, self._baseline, equal_nan=True
+        ):
+            self.app.record_selftest(
+                False,
+                "canary transform diverged from its baseline "
+                f"(shape {output.shape} vs {self._baseline.shape})",
+            )
+            return False
+        self.app.record_selftest(True, None)
+        return True
+
+    # -- thread lifecycle --------------------------------------------------
+    def start(self) -> threading.Thread:
+        """Start the daemon loop; returns the thread."""
+        if self._thread is not None and self._thread.is_alive():
+            return self._thread
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check()

@@ -59,6 +59,9 @@ def _stats(path: str) -> dict:
                 "max": round(max(ages), 3),
             } if ages else None,
         }
+        # Cumulative empty-queue polls across every worker that ever
+        # claimed against this store (durable in store_counters).
+        stats["n_claim_retries"] = runs.counter("claim_retries")
     return stats
 
 

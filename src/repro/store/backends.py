@@ -31,6 +31,9 @@ import os
 import sqlite3
 import threading
 
+from ..chaos import maybe_fault
+from ..reliability import sqlite_retry_policy
+
 __all__ = [
     "CacheBackend",
     "FIDELITY_KEY_MARKER",
@@ -159,6 +162,9 @@ class SqliteConnectionOwner:
         self.timeout = timeout
         self._local = threading.local()
         self._pid = os.getpid()
+        # Busy/locked contention and injected store faults retry with
+        # deterministic backoff instead of surfacing to callers.
+        self.retry = sqlite_retry_policy(name=type(self).__name__.lower())
         # Fail fast on an unusable path and create the schema eagerly.
         self._connection().execute("SELECT 1")
 
@@ -213,12 +219,20 @@ class SqliteBackend(SqliteConnectionOwner, CacheBackend):
     """
 
     def get(self, key: str) -> float | None:
+        return self.retry.call(self._get_once, key)
+
+    def _get_once(self, key: str) -> float | None:
+        maybe_fault("store.get")
         row = self._connection().execute(
             "SELECT score FROM eval_scores WHERE key = ?", (key,)
         ).fetchone()
         return None if row is None else float(row[0])
 
     def put(self, key: str, score: float) -> None:
+        self.retry.call(self._put_once, key, score)
+
+    def _put_once(self, key: str, score: float) -> None:
+        maybe_fault("store.put")
         self._connection().execute(
             "INSERT INTO eval_scores (key, score) VALUES (?, ?) "
             "ON CONFLICT(key) DO UPDATE SET score = excluded.score",
@@ -229,6 +243,10 @@ class SqliteBackend(SqliteConnectionOwner, CacheBackend):
         """Store many scores in one transaction (one fsync, not N)."""
         if not items:
             return
+        self.retry.call(self._put_many_once, items)
+
+    def _put_many_once(self, items: list[tuple[str, float]]) -> None:
+        maybe_fault("store.put")
         connection = self._connection()
         with connection:  # BEGIN ... COMMIT around the batch
             connection.executemany(

@@ -34,11 +34,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import sqlite3
 import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from ..chaos import maybe_fault
+from ..reliability import is_transient_sqlite_error
 from .backends import SqliteConnectionOwner
 
 __all__ = [
@@ -67,6 +70,7 @@ _HASH_EXCLUDED_FIELDS = (
     "eval_cache",
     "eval_store_path",
     "eval_speculation",
+    "eval_timeout",
 )
 
 
@@ -216,6 +220,10 @@ class RunStore(SqliteConnectionOwner):
         outcome      TEXT,
         resolved_at  REAL
     );
+    CREATE TABLE IF NOT EXISTS store_counters (
+        name  TEXT PRIMARY KEY,
+        value INTEGER NOT NULL DEFAULT 0
+    );
     """
 
     #: A ``running`` runs-row older than this is presumed dead and may
@@ -241,7 +249,9 @@ class RunStore(SqliteConnectionOwner):
         writers queue behind the busy timeout instead of interleaving.
         """
         connection = self._connection()
-        connection.execute("BEGIN IMMEDIATE")
+        # Lock acquisition is where WAL contention surfaces; retry it
+        # with deterministic backoff instead of erroring the caller.
+        self.retry.call(connection.execute, "BEGIN IMMEDIATE")
         try:
             yield connection
         except BaseException:
@@ -249,6 +259,22 @@ class RunStore(SqliteConnectionOwner):
             raise
         else:
             connection.execute("COMMIT")
+
+    # -- durable counters --------------------------------------------------
+    @staticmethod
+    def _bump_counter(connection, name: str, amount: int = 1) -> None:
+        connection.execute(
+            "INSERT INTO store_counters (name, value) VALUES (?, ?)"
+            " ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (name, amount),
+        )
+
+    def counter(self, name: str) -> int:
+        """A durable operational counter (0 when never bumped)."""
+        row = self._connection().execute(
+            "SELECT value FROM store_counters WHERE name = ?", (name,)
+        ).fetchone()
+        return 0 if row is None else int(row[0])
 
     # -- writing -----------------------------------------------------------
     def start(
@@ -418,8 +444,6 @@ class RunStore(SqliteConnectionOwner):
         without the JSON1 extension fall back to parsing payloads in
         Python.
         """
-        import sqlite3
-
         filters = ""
         parameters: list = []
         for column, value in (
@@ -429,8 +453,8 @@ class RunStore(SqliteConnectionOwner):
                 filters += f" AND {column} = ?"
                 parameters.append(value)
 
-        try:
-            rows = self._connection().execute(
+        def query():
+            return self._connection().execute(
                 "SELECT dataset, method, seed, config_hash, status,"
                 " best_score, n_evaluations, n_cache_hits, n_cache_misses,"
                 " wall_time, updated_at,"
@@ -441,25 +465,50 @@ class RunStore(SqliteConnectionOwner):
                 + " ORDER BY dataset, method, seed",
                 parameters,
             ).fetchall()
+
+        try:
+            # Transient busy/locked contention retries with backoff
+            # inside the policy; only persistent failures escape.
+            rows = self.retry.call(query)
             return [
                 (RunRecord(*row[:11]), json.loads(row[11])) for row in rows
             ]
-        except sqlite3.OperationalError:
-            out: list[tuple[RunRecord, dict]] = []
-            for record in self.records(status="completed"):
-                if (
-                    (dataset is not None and record.dataset != dataset)
-                    or (method is not None and record.method != method)
-                    or (seed is not None and record.seed != seed)
-                ):
-                    continue
-                plan = self.completed_plan(
-                    record.dataset, record.method, record.seed,
-                    record.config_hash,
-                )
-                if plan is not None:
-                    out.append((record, plan))
-            return out
+        except sqlite3.OperationalError as error:
+            if "no such function" in str(error).lower():
+                # Build without the JSON1 extension — the one condition
+                # the Python fallback exists for.
+                return self._plans_fallback(dataset, method, seed)
+            if is_transient_sqlite_error(error):
+                # Retry budget exhausted on contention: propagate as-is
+                # so callers see the true (retryable) condition.
+                raise
+            raise sqlite3.OperationalError(
+                f"plans() query failed on run store {self.path!r}; the"
+                f" database is unreadable, not merely busy: {error}"
+            ) from error
+
+    def _plans_fallback(
+        self,
+        dataset: str | None,
+        method: str | None,
+        seed: int | None,
+    ) -> list[tuple[RunRecord, dict]]:
+        """Parse payloads in Python (JSON1-less SQLite builds)."""
+        out: list[tuple[RunRecord, dict]] = []
+        for record in self.records(status="completed"):
+            if (
+                (dataset is not None and record.dataset != dataset)
+                or (method is not None and record.method != method)
+                or (seed is not None and record.seed != seed)
+            ):
+                continue
+            plan = self.completed_plan(
+                record.dataset, record.method, record.seed,
+                record.config_hash,
+            )
+            if plan is not None:
+                out.append((record, plan))
+        return out
 
     def records(self, status: str | None = None) -> list[RunRecord]:
         """Every stored cell (optionally filtered by status)."""
@@ -562,6 +611,7 @@ class RunStore(SqliteConnectionOwner):
         """
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
+        maybe_fault("runs.claim")
         now = time.time()
         token = uuid.uuid4().hex
         expires = now + lease_ttl
@@ -572,6 +622,10 @@ class RunStore(SqliteConnectionOwner):
                 " ORDER BY enqueued_at, dataset, method, seed LIMIT 1"
             ).fetchone()
             if row is None:
+                # Durable idle-poll tally: how often workers found the
+                # queue drained (surfaced by `python -m repro.store
+                # stats` as n_claim_retries).
+                self._bump_counter(connection, "claim_retries")
                 return None
             dataset, method, seed, cell_hash, spec, retries = row
             connection.execute(

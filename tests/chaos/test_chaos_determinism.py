@@ -1,0 +1,124 @@
+"""Chaos under real workloads: retries absorb faults bit-identically.
+
+The reliability contract: injected store faults are transient, the
+retry layer absorbs them, and because both the fault sequence and the
+backoff jitter are seeded, a run under chaos produces *bit-identical*
+results to a fault-free run — not merely "it didn't crash".
+"""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import FaultPlan
+from repro.core import AFEEngine, EngineConfig, KeepAllFilter
+from repro.datasets import make_classification
+from repro.store import SqliteBackend
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+def _tiny_config(**overrides):
+    params = {
+        "n_epochs": 2,
+        "stage1_epochs": 1,
+        "transforms_per_agent": 2,
+        "n_splits": 3,
+        "n_estimators": 3,
+        "max_agents": 5,
+        "seed": 0,
+    }
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+#: Wall-clock / environment-dependent keys excluded from bit-identity.
+_TIMING_KEYS = {
+    "wall_time", "generation_time", "evaluation_time",
+    "pool_workers", "pool_peak_inflight", "pool_occupancy",
+    "history",
+}
+
+
+def _stable(result) -> dict:
+    payload = {
+        k: v for k, v in result.to_dict().items() if k not in _TIMING_KEYS
+    }
+    payload["history_scores"] = [
+        record.best_score for record in result.history
+    ]
+    return payload
+
+
+class TestStoreUnderFaults:
+    def test_all_writes_survive_injected_put_faults(self, tmp_path):
+        chaos.install(FaultPlan.parse("store.put:err=0.4@seed=11"))
+        backend = SqliteBackend(str(tmp_path / "scores.db"))
+        for i in range(60):
+            backend.put(f"key-{i}", float(i) / 7.0)
+        # Every write landed despite ~40% of puts faulting on their
+        # first attempt; the retry policy logged the recoveries.
+        for i in range(60):
+            assert backend.get(f"key-{i}") == float(i) / 7.0
+        assert chaos.fault_counts().get("store.put", 0) > 0
+        assert backend.retry.n_retries > 0
+
+    def test_reads_survive_injected_get_faults(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "scores.db"))
+        backend.put("k", 0.5)
+        chaos.install(FaultPlan.parse("store.get:err=0.5@seed=3"))
+        values = [backend.get("k") for _ in range(30)]
+        assert values == [0.5] * 30
+        assert chaos.fault_counts().get("store.get", 0) > 0
+
+
+class TestEngineBitIdentity:
+    def test_engine_run_identical_with_and_without_store_faults(
+        self, tmp_path
+    ):
+        task = make_classification(
+            name="chaos-task", n_samples=80, n_features=4, seed=0
+        )
+
+        clean_config = _tiny_config(
+            eval_store_path=str(tmp_path / "clean.db")
+        )
+        baseline = AFEEngine(KeepAllFilter(), clean_config).fit(task)
+
+        chaos.install(FaultPlan.parse("store.put:err=0.3@seed=17"))
+        chaotic_config = _tiny_config(
+            eval_store_path=str(tmp_path / "chaotic.db")
+        )
+        chaotic = AFEEngine(KeepAllFilter(), chaotic_config).fit(task)
+        fired = dict(chaos.fault_counts())
+        chaos.reset()
+
+        assert fired.get("store.put", 0) > 0, (
+            "fault plan never fired — the test exercised nothing"
+        )
+        assert _stable(chaotic) == _stable(baseline)
+
+    def test_same_fault_seed_replays_identically(self, tmp_path):
+        task = make_classification(
+            name="replay-task", n_samples=80, n_features=4, seed=1
+        )
+        results = []
+        fired = []
+        for run in range(2):
+            chaos.install(
+                FaultPlan.parse("store.put:err=0.3,store.get:err=0.1@seed=5")
+            )
+            config = _tiny_config(
+                seed=1, eval_store_path=str(tmp_path / f"run{run}.db")
+            )
+            results.append(
+                _stable(AFEEngine(KeepAllFilter(), config).fit(task))
+            )
+            fired.append(dict(chaos.fault_counts()))
+            chaos.reset()
+        assert results[0] == results[1]
+        assert fired[0] == fired[1]

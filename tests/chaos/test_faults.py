@@ -1,0 +1,157 @@
+"""Fault-plan grammar, seeded determinism, and the disabled fast path."""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import (
+    FAULT_SITES,
+    FaultInjected,
+    FaultPlan,
+    SiteFault,
+    maybe_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+class TestGrammar:
+    def test_full_grammar_round_trip(self):
+        plan = FaultPlan.parse(
+            "store.put:err=0.1,pool.fit:hang=0.02:secs=30:after=3@seed=7"
+        )
+        assert plan.seed == 7
+        put = plan.faults["store.put"][0]
+        assert (put.kind, put.probability, put.after) == ("err", 0.1, 0)
+        fit = plan.faults["pool.fit"][0]
+        assert (fit.kind, fit.probability, fit.after, fit.seconds) == (
+            "hang", 0.02, 3, 30.0,
+        )
+
+    def test_seed_defaults_to_zero(self):
+        assert FaultPlan.parse("store.get:err=1.0").seed == 0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",  # empty plan
+            "store.typo:err=0.5",  # unknown site
+            "store.put:explode=0.5",  # unknown kind
+            "store.put:err",  # missing probability
+            "store.put:err=2.0",  # probability out of range
+            "store.put:err=0.5:wat=3",  # unknown option
+            "store.put:err=0.5@sd=3",  # malformed seed suffix
+            "store.put",  # no kind at all
+        ],
+    )
+    def test_malformed_plans_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_site_fault_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            SiteFault(site="nope", kind="err", probability=0.5)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            SiteFault(site="store.put", kind="boom", probability=0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultPlan.parse("store.put:err=0.3@seed=42")
+        b = FaultPlan.parse("store.put:err=0.3@seed=42")
+        sequence = [a.would_fire("store.put", i) for i in range(300)]
+        assert sequence == [b.would_fire("store.put", i) for i in range(300)]
+        assert any(sequence) and not all(sequence)
+
+    def test_different_seed_different_sequence(self):
+        a = FaultPlan.parse("store.put:err=0.3@seed=1")
+        b = FaultPlan.parse("store.put:err=0.3@seed=2")
+        assert [a.would_fire("store.put", i) for i in range(300)] != [
+            b.would_fire("store.put", i) for i in range(300)
+        ]
+
+    def test_fire_decisions_independent_of_interleaving(self):
+        # The i-th arrival at a site fires (or not) regardless of how
+        # many arrivals other sites saw in between.
+        plan = FaultPlan.parse("store.put:err=0.5,store.get:err=0.5@seed=9")
+        expected = [plan.would_fire("store.put", i) for i in range(50)]
+        chaos.install(plan)
+        observed = []
+        for i in range(50):
+            if i % 3 == 0:  # interleave arrivals at the other site
+                try:
+                    maybe_fault("store.get")
+                except FaultInjected:
+                    pass
+            try:
+                maybe_fault("store.put")
+                observed.append(False)
+            except FaultInjected as fault:
+                assert fault.site == "store.put"
+                assert fault.index == i
+                observed.append(True)
+        assert observed == expected
+
+    def test_check_replays_identically_across_installs(self):
+        text = "runs.claim:err=0.4@seed=5"
+        runs = []
+        for _ in range(2):
+            chaos.install(FaultPlan.parse(text))
+            fired = []
+            for _ in range(100):
+                try:
+                    maybe_fault("runs.claim")
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+            runs.append(fired)
+            chaos.reset()
+        assert runs[0] == runs[1]
+
+
+class TestFiring:
+    def test_after_leaves_warmup_arrivals_clean(self):
+        chaos.install(FaultPlan.parse("registry.load:err=1.0:after=2@seed=7"))
+        maybe_fault("registry.load")
+        maybe_fault("registry.load")
+        with pytest.raises(FaultInjected) as info:
+            maybe_fault("registry.load")
+        assert info.value.index == 2
+        assert chaos.fault_counts() == {"registry.load": 1}
+        assert chaos.current().arrivals() == {"registry.load": 3}
+
+    def test_hang_fires_without_raising(self):
+        chaos.install(FaultPlan.parse("pool.fit:hang=1.0:secs=0.0"))
+        maybe_fault("pool.fit")  # must not raise
+        assert chaos.fault_counts() == {"pool.fit": 1}
+
+    def test_unlisted_site_never_fires(self):
+        chaos.install(FaultPlan.parse("store.put:err=1.0"))
+        for _ in range(10):
+            maybe_fault("serve.handle")
+        assert chaos.fault_counts() == {}
+
+
+class TestModuleState:
+    def test_disabled_fast_path_is_noop(self):
+        assert not chaos.active()
+        for site in FAULT_SITES:
+            maybe_fault(site)  # must never raise
+        assert chaos.fault_counts() == {}
+
+    def test_install_from_env(self):
+        plan = chaos.install_from_env(
+            {"REPRO_FAULTS": "store.put:err=1.0@seed=3"}
+        )
+        assert plan is not None and chaos.active()
+        assert plan.seed == 3
+        assert chaos.install_from_env({}) is None
+        assert not chaos.active()
+
+    def test_install_from_env_rejects_typos_loudly(self):
+        with pytest.raises(ValueError):
+            chaos.install_from_env({"REPRO_FAULTS": "store.pu:err=1.0"})

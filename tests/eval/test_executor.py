@@ -276,7 +276,7 @@ class TestBackendEquivalence:
         service.close()
         assert [future.result() for future in held] == expected
 
-    def test_worker_crash_falls_back_serially_and_is_counted(self):
+    def test_worker_crash_resubmits_and_batch_completes(self):
         task, base, columns = _workload(seed=10)
         serial = EvaluationService(_evaluator(), cache=None, backend="serial")
         expected = serial.score_batch(base, columns, task.y)
@@ -290,7 +290,15 @@ class TestBackendEquivalence:
                 os.kill(pid, signal.SIGKILL)
             scores = [future.result() for future in futures]
             assert scores == expected
-            assert service.stats.n_backend_fallbacks >= 1
+            # Crashed submissions are resubmitted to the recovered pool
+            # (counted on the resubmit policy); anything the resubmit
+            # can't save lands in the serial-fallback counter.  Either
+            # way, the crash left an audit trail.
+            recoveries = (
+                service._pool_retry.n_retries
+                + service.stats.n_backend_fallbacks
+            )
+            assert recoveries >= 1
             # Later batches run on the recovered pool without fallback.
             fallbacks = service.stats.n_backend_fallbacks
             more = service.score_batch(

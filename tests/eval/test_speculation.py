@@ -201,7 +201,12 @@ class TestCrashWithSpeculationInFlight:
             service.commit_speculative(spec)
             assert [f.result() for f in spec] == expected_spec
             stats = service.stats
-            assert stats.n_backend_fallbacks >= 1
+            # The crash is recovered either by resubmitting to the
+            # respawned pool (counted on the resubmit policy) or by
+            # the serial fallback — both leave an audit trail.
+            assert (
+                service._pool_retry.n_retries + stats.n_backend_fallbacks
+            ) >= 1
             assert stats.n_speculative_submitted == 3
             assert stats.n_speculative_used == 3
             assert stats.n_speculative_discarded == 0

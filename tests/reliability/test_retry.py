@@ -1,0 +1,144 @@
+"""RetryPolicy: deterministic backoff, budgets, and classification."""
+
+import sqlite3
+
+import pytest
+
+from repro.chaos import FaultInjected
+from repro.reliability import (
+    RetryPolicy,
+    is_transient_sqlite_error,
+    registered_policies,
+    sqlite_retry_policy,
+)
+
+
+def _no_sleep_policy(**overrides):
+    sleeps = []
+    params = dict(
+        max_attempts=4,
+        base_delay=0.01,
+        jitter=0.5,
+        seed=0,
+        budget=None,
+        sleep=sleeps.append,
+        name="test",
+    )
+    params.update(overrides)
+    return RetryPolicy(**params), sleeps
+
+
+class TestClassification:
+    def test_transient_sqlite_markers(self):
+        assert is_transient_sqlite_error(
+            sqlite3.OperationalError("database is locked")
+        )
+        assert is_transient_sqlite_error(
+            sqlite3.OperationalError("database is busy")
+        )
+
+    def test_fatal_sqlite_and_foreign_errors(self):
+        assert not is_transient_sqlite_error(
+            sqlite3.OperationalError("no such table: scores")
+        )
+        assert not is_transient_sqlite_error(ValueError("nope"))
+        assert not is_transient_sqlite_error(sqlite3.IntegrityError("dup"))
+
+    def test_injected_faults_count_as_transient(self):
+        assert is_transient_sqlite_error(FaultInjected("store.put", 0))
+
+
+class TestBackoffSchedule:
+    def test_deterministic_jitter_sequence(self):
+        a = RetryPolicy(name="det", seed=9, budget=None)
+        b = RetryPolicy(name="det", seed=9, budget=None)
+        assert [a.delay(i) for i in range(6)] == [
+            b.delay(i) for i in range(6)
+        ]
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            name="cap", base_delay=0.1, multiplier=2.0, max_delay=0.4,
+            jitter=0.0, budget=None,
+        )
+        assert [policy.delay(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestCall:
+    def test_retries_transient_until_success(self):
+        policy, sleeps = _no_sleep_policy()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+        assert policy.n_retries == 2
+        assert len(sleeps) == 2
+
+    def test_fatal_error_propagates_immediately(self):
+        policy, sleeps = _no_sleep_policy()
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise sqlite3.OperationalError("no such table: scores")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            policy.call(fatal)
+        assert len(calls) == 1 and sleeps == []
+
+    def test_attempts_exhausted_reraises(self):
+        policy, _ = _no_sleep_policy(max_attempts=3)
+
+        def always():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            policy.call(always)
+        assert policy.n_retries == 2  # 3 attempts = 2 retries
+
+    def test_budget_exhaustion_gives_up(self):
+        # Budget below the first backoff step: the policy refuses to
+        # sleep past it and lets the error propagate, counted.
+        policy, sleeps = _no_sleep_policy(
+            base_delay=10.0, jitter=0.0, budget=1.0
+        )
+
+        def always():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            policy.call(always)
+        assert policy.n_giveups == 1
+        assert sleeps == []
+
+    def test_record_retry_counts_external_attempts(self):
+        policy, _ = _no_sleep_policy()
+        policy.record_retry()
+        policy.record_retry()
+        assert policy.n_retries == 2
+
+
+class TestRegistry:
+    def test_policies_register_for_metrics(self):
+        policy = RetryPolicy(name="registered-probe", budget=None)
+        assert policy in registered_policies()
+
+    def test_sqlite_policy_defaults(self):
+        policy = sqlite_retry_policy(name="probe")
+        assert policy.max_attempts == 5
+        assert policy.budget == 30.0
+        assert policy.classify is is_transient_sqlite_error

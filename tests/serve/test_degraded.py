@@ -1,0 +1,212 @@
+"""Degraded-mode serving: stale plans beat downtime, probes tell the truth.
+
+Registry-backend failures must not take serving down: requests whose
+plan is already in the compiled-plan LRU are answered from it (counted
+as degraded serves), ``/healthz`` drops to ``degraded``, and the flag
+clears on the next successful registry access.  Draining (SIGTERM
+path) 503s new work while in-flight requests finish, and the watchdog
+canary flips readiness when the compute path breaks.
+"""
+
+import threading
+
+import pytest
+
+from repro import chaos
+from repro.api.plan import FeaturePlan
+from repro.chaos import FaultPlan
+from repro.serve import PlanRegistry, ServeApp, TransformService, Watchdog
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+@pytest.fixture
+def registry(tmp_path):
+    registry = PlanRegistry(str(tmp_path / "plans"))
+    registry.publish(
+        FeaturePlan(["f0", "mul(f0,f1)"], ["f0", "f1"]), name="demo"
+    )
+    return registry
+
+
+@pytest.fixture
+def app(registry):
+    service = TransformService(registry=registry)
+    return ServeApp(service, default_plan="demo")
+
+
+def _transform(app, rows=((2.0, 3.0),)):
+    return app.handle(
+        "POST", "/transform", {"rows": [list(row) for row in rows]}
+    )
+
+
+class TestDegradedServing:
+    def test_warm_plan_survives_registry_outage(self, app):
+        status, warm = _transform(app)
+        assert status == 200
+
+        chaos.install(FaultPlan.parse("registry.load:err=1.0@seed=7"))
+        status, stale = _transform(app)
+        assert status == 200
+        assert stale["rows"] == warm["rows"]
+        service = app.service
+        assert service.degraded
+        assert service.n_degraded_serves == 1
+        assert service.n_registry_errors >= 1
+
+    def test_cold_plan_still_errors_during_outage(self, app):
+        # Nothing cached -> degradation has nothing to serve; the
+        # outage surfaces as 503 (retry elsewhere), never a wrong 200.
+        chaos.install(FaultPlan.parse("registry.load:err=1.0@seed=7"))
+        status, document = _transform(app)
+        assert status == 503
+        assert "unavailable" in document["error"]
+
+    def test_degraded_flag_clears_on_recovery(self, app):
+        _transform(app)
+        chaos.install(FaultPlan.parse("registry.load:err=1.0@seed=7"))
+        _transform(app)
+        assert app.service.degraded
+        chaos.reset()
+        status, _ = _transform(app)
+        assert status == 200
+        assert not app.service.degraded
+
+    def test_not_found_is_never_degraded_away(self, app):
+        _transform(app)
+        status, document = app.handle(
+            "POST", "/transform", {"plan": "missing", "rows": [[1.0, 2.0]]}
+        )
+        assert status == 404
+        assert not app.service.degraded
+
+
+class TestHealthzLadder:
+    def test_ready_when_healthy(self, app):
+        status, document = app.handle("GET", "/healthz", None)
+        assert (status, document["status"]) == (200, "ready")
+        assert document["degraded"] is False
+        assert document["reliability"]["watchdog_ok"] is True
+
+    def test_degraded_after_registry_failure(self, app):
+        _transform(app)
+        chaos.install(FaultPlan.parse("registry.load:err=1.0@seed=7"))
+        _transform(app)
+        status, document = app.handle("GET", "/healthz", None)
+        assert (status, document["status"]) == (200, "degraded")
+        reliability = document["reliability"]
+        assert reliability["degraded_serves"] == 1
+        assert reliability["registry_errors"] >= 1
+        assert reliability["faults_injected"] >= 1
+
+    def test_watchdog_failure_flips_readiness(self, app):
+        app.record_selftest(False, "canary diverged")
+        _, document = app.handle("GET", "/healthz", None)
+        assert document["status"] == "degraded"
+        assert document["reliability"]["watchdog_failures"] == 1
+        app.record_selftest(True, None)
+        _, document = app.handle("GET", "/healthz", None)
+        assert document["status"] == "ready"
+
+    def test_metrics_expose_lifecycle_series(self, app):
+        _transform(app)
+        text = app.metrics_text()
+        assert "repro_serve_degraded 0" in text
+        assert "repro_serve_draining 0" in text
+        assert "repro_reliability_chaos_active 0" in text
+
+
+class TestDraining:
+    def test_new_requests_503_probes_still_answer(self, app):
+        app.begin_drain()
+        status, payload, _ = app.handle_raw(
+            "POST", "/transform", {"rows": [[1.0, 2.0]]}
+        )
+        assert status == 503
+        status, document = app.handle("GET", "/healthz", None)
+        assert (status, document["status"]) == (200, "live")
+        assert document["draining"] is True
+        status, _, _ = app.handle_raw("GET", "/metrics", None)
+        assert status == 200
+
+    def test_wait_drained_blocks_for_inflight(self, app):
+        release = threading.Event()
+        entered = threading.Event()
+
+        original = app.service.serve_rows
+
+        def slow(ref, rows):
+            entered.set()
+            release.wait(timeout=10)
+            return original(ref, rows)
+
+        app.service.serve_rows = slow
+        worker = threading.Thread(
+            target=app.handle_raw,
+            args=("POST", "/transform", {"rows": [[1.0, 2.0]]}),
+        )
+        worker.start()
+        assert entered.wait(timeout=5)
+        app.begin_drain()
+        assert app.inflight == 1
+        assert not app.wait_drained(timeout=0.1)
+        release.set()
+        assert app.wait_drained(timeout=5)
+        worker.join(timeout=5)
+        assert app.inflight == 0
+
+
+class TestWatchdog:
+    def test_canary_round_trip_passes(self, app):
+        watchdog = Watchdog(app, interval=60.0)
+        assert watchdog.check() is True
+        assert app.watchdog_ok
+
+    def test_baseline_divergence_flips_and_recovers(self, app):
+        watchdog = Watchdog(app, interval=60.0)
+        pristine = watchdog._baseline.copy()
+        watchdog._baseline = watchdog._baseline + 1.0
+        assert watchdog.check() is False
+        assert not app.watchdog_ok
+        _, document = app.handle("GET", "/healthz", None)
+        assert document["status"] == "degraded"
+        watchdog._baseline = pristine
+        assert watchdog.check() is True
+        assert app.watchdog_ok
+        assert app.n_watchdog_failures == 1
+
+    def test_transform_exception_is_a_verdict_not_a_crash(self, app):
+        watchdog = Watchdog(app, interval=60.0)
+
+        def boom(_matrix):
+            raise RuntimeError("poisoned compute path")
+
+        watchdog._plan.transform = boom
+        assert watchdog.check() is False
+        assert "poisoned" in (app.last_watchdog_error or "")
+
+    def test_interval_validation_and_thread_lifecycle(self, app):
+        with pytest.raises(ValueError):
+            Watchdog(app, interval=0)
+        watchdog = Watchdog(app, interval=0.05)
+        thread = watchdog.start()
+        assert watchdog.start() is thread  # idempotent
+        deadline = threading.Event()
+        deadline.wait(0.2)
+        watchdog.stop()
+        assert not thread.is_alive()
+        assert watchdog.n_checks >= 1
+
+
+class TestHandleFaultSite:
+    def test_injected_handle_fault_is_a_500(self, app):
+        chaos.install(FaultPlan.parse("serve.handle:err=1.0"))
+        status, payload, _ = app.handle_raw("GET", "/plans", None)
+        assert status == 500
+        assert app.n_handle_faults == 1

@@ -69,9 +69,12 @@ class TestEndpoints:
         base, _ = served
         status, document = _get(f"{base}/healthz")
         assert status == 200
-        assert document["status"] == "ok"
+        assert document["status"] == "ready"
+        assert document["degraded"] is False
+        assert document["draining"] is False
         assert document["default_plan"] == "demo"
         assert document["has_pipeline"] is True
+        assert document["reliability"]["watchdog_ok"] is True
 
     def test_plans_listing(self, served):
         base, _ = served

@@ -81,7 +81,7 @@ def test_serve_round_trip_and_clean_shutdown(tmp_path, source):
         served = np.asarray(document["rows"], dtype=np.float64)
         assert served.tobytes() == expected.tobytes()
         with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
-            assert json.loads(response.read())["status"] == "ok"
+            assert json.loads(response.read())["status"] == "ready"
     finally:
         process.send_signal(signal.SIGINT)
         try:
